@@ -1,0 +1,267 @@
+// Command soundboost trains the acoustic model and runs post-incident RCA
+// over recorded flights.
+//
+// Train a model from a directory of benign flights:
+//
+//	soundboost train -flights flights/ -model model.json
+//
+// Calibrate the detectors once and save the full analyzer:
+//
+//	soundboost calibrate -model model.json -calib flights/ -out analyzer.json
+//
+// Run the two-stage RCA over a flight, either from a saved analyzer or by
+// calibrating on the fly:
+//
+//	soundboost rca -analyzer analyzer.json -flight incident.sbf
+//	soundboost rca -model model.json -calib flights/ -flight incident.sbf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"soundboost/internal/acoustics"
+	soundboost "soundboost/internal/core"
+	"soundboost/internal/dataset"
+	"soundboost/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "soundboost:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: soundboost <train|rca> [flags]")
+	}
+	switch args[0] {
+	case "train":
+		return runTrain(args[1:])
+	case "calibrate":
+		return runCalibrate(args[1:])
+	case "rca":
+		return runRCA(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want train, calibrate or rca)", args[0])
+	}
+}
+
+func loadFlightDir(dir string) ([]*dataset.Flight, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".sbf") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var flights []*dataset.Flight
+	for _, n := range names {
+		f, err := dataset.LoadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", n, err)
+		}
+		flights = append(flights, f)
+	}
+	if len(flights) == 0 {
+		return nil, fmt.Errorf("no .sbf flights in %s", dir)
+	}
+	return flights, nil
+}
+
+func runTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	var (
+		flightDir = fs.String("flights", "flights", "directory of benign training flights")
+		modelPath = fs.String("model", "model.json", "output model path")
+		hidden    = fs.Int("hidden", 64, "regressor width")
+		epochs    = fs.Int("epochs", 60, "training epochs")
+		augment   = fs.Float64("augment", 5, "time-shift augmentation factor (0 = none)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	flights, err := loadFlightDir(*flightDir)
+	if err != nil {
+		return err
+	}
+	for _, f := range flights {
+		if f.Scenario.IsAttack() {
+			return fmt.Errorf("flight %q is an attack flight; train on benign flights only", f.Name)
+		}
+	}
+	// Derive the signature layout from the first recording's rate: assume
+	// the default frequency plan scaled into its Nyquist range.
+	sample := flights[0].Audio.SampleRate
+	synth := deriveSynth(sample)
+	sigCfg := soundboost.DefaultSignatureConfig(synth)
+	mapCfg := soundboost.DefaultMappingConfig(sigCfg)
+	mapCfg.Hidden = *hidden
+	mapCfg.Train.Epochs = *epochs
+	mapCfg.Train.Verbose = true
+	mapCfg.Train.Logf = func(format string, a ...any) { fmt.Printf(format+"\n", a...) }
+	if *augment > 0 {
+		mapCfg.AugmentFactors = []float64{*augment}
+	} else {
+		mapCfg.AugmentFactors = nil
+	}
+
+	nVal := len(flights) / 6
+	train := flights[:len(flights)-nVal]
+	val := flights[len(flights)-nVal:]
+	fmt.Printf("training on %d flights (%d validation)\n", len(train), len(val))
+	model, hist, err := soundboost.TrainModel(train, val, mapCfg)
+	if err != nil {
+		return err
+	}
+	if n := len(hist.TrainMSE); n > 0 {
+		fmt.Printf("final train MSE (normalised): %.4f\n", hist.TrainMSE[n-1])
+	}
+	out, err := os.Create(*modelPath)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := model.Save(out); err != nil {
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("model written to %s\n", *modelPath)
+	return nil
+}
+
+func runCalibrate(args []string) error {
+	fs := flag.NewFlagSet("calibrate", flag.ContinueOnError)
+	var (
+		modelPath = fs.String("model", "model.json", "trained model path")
+		calibDir  = fs.String("calib", "flights", "directory of benign calibration flights")
+		outPath   = fs.String("out", "analyzer.json", "output analyzer path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	analyzer, err := buildAnalyzer(*modelPath, *calibDir)
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(*outPath)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := analyzer.Save(out); err != nil {
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("calibrated analyzer written to %s\n", *outPath)
+	fmt.Printf("  IMU: KS stat threshold %.3f, sigma threshold %.3f\n",
+		analyzer.IMU.StatThreshold(), analyzer.IMU.StdThreshold())
+	fmt.Printf("  GPS: audio-only threshold %.3f, audio+IMU threshold %.3f\n",
+		analyzer.GPSAudioOnly.Threshold(), analyzer.GPSAudioIMU.Threshold())
+	return nil
+}
+
+// buildAnalyzer loads the model and calibrates detectors on a benign
+// flight directory.
+func buildAnalyzer(modelPath, calibDir string) (*soundboost.Analyzer, error) {
+	mf, err := os.Open(modelPath)
+	if err != nil {
+		return nil, err
+	}
+	defer mf.Close()
+	model, err := soundboost.LoadModel(mf)
+	if err != nil {
+		return nil, err
+	}
+	calib, err := loadFlightDir(calibDir)
+	if err != nil {
+		return nil, err
+	}
+	var benign []*dataset.Flight
+	for _, f := range calib {
+		if !f.Scenario.IsAttack() {
+			benign = append(benign, f)
+		}
+	}
+	return soundboost.NewAnalyzer(model, benign)
+}
+
+func runRCA(args []string) error {
+	fs := flag.NewFlagSet("rca", flag.ContinueOnError)
+	var (
+		analyzerPath = fs.String("analyzer", "", "saved analyzer path (skips calibration)")
+		modelPath    = fs.String("model", "model.json", "trained model path (when no -analyzer)")
+		calibDir     = fs.String("calib", "flights", "directory of benign calibration flights (when no -analyzer)")
+		flightPath   = fs.String("flight", "", "flight to analyse (.sbf)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *flightPath == "" {
+		return fmt.Errorf("-flight is required")
+	}
+	var analyzer *soundboost.Analyzer
+	if *analyzerPath != "" {
+		af, err := os.Open(*analyzerPath)
+		if err != nil {
+			return err
+		}
+		defer af.Close()
+		analyzer, err = soundboost.LoadAnalyzer(af)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		analyzer, err = buildAnalyzer(*modelPath, *calibDir)
+		if err != nil {
+			return err
+		}
+	}
+	flight, err := dataset.LoadFile(*flightPath)
+	if err != nil {
+		return err
+	}
+	report, err := analyzer.Analyze(flight)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.String())
+	if flight.Scenario.IsAttack() {
+		fmt.Printf("  (ground truth: %s during [%.1f, %.1f))\n",
+			flight.Scenario.Kind, flight.Scenario.Window.Start, flight.Scenario.Window.End)
+	} else {
+		fmt.Println("  (ground truth: benign)")
+	}
+	return nil
+}
+
+// deriveSynth reconstructs the acoustic frequency plan for a recording's
+// sample rate: the paper layout when it fits under Nyquist, otherwise the
+// proportionally scaled plan used by reduced-rate datasets.
+func deriveSynth(sampleRate float64) acoustics.SynthConfig {
+	c := acoustics.DefaultSynthConfig()
+	c.SampleRate = sampleRate
+	world := sim.DefaultWorldConfig()
+	c.Blades = world.Vehicle.Blades
+	c.HoverSpeed = world.Vehicle.HoverMotorSpeed()
+	if c.AeroFreq >= sampleRate/2 {
+		c.MechFreq = 0.225 * sampleRate
+		c.AeroFreq = 0.375 * sampleRate
+	}
+	return c
+}

@@ -1,0 +1,65 @@
+// TDoA rotor localization: reproduce the paper's §II-D claim — an
+// off-centre 4-microphone array can locate and identify each propeller by
+// Time-Difference-of-Arrival — using GCC-PHAT over the synthesised rotor
+// sound.
+//
+//	go run ./examples/tdoa-localization
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"soundboost/internal/acoustics"
+)
+
+func main() {
+	cfg := acoustics.DefaultSynthConfig()
+	cfg.AmbientStd = 0.001
+	cfg.WindNoiseCoeff = 0
+	arr := acoustics.DefaultArrayConfig(0.25)
+
+	fmt.Println("array geometry (body frame, metres):")
+	for m, p := range arr.MicPositions {
+		fmt.Printf("  mic %d at %v\n", m, p)
+	}
+	for r, p := range arr.RotorPositions {
+		fmt.Printf("  rotor %d at %v\n", r, p)
+	}
+	fmt.Println()
+
+	correct := 0
+	for rotor := 0; rotor < acoustics.NumRotors; rotor++ {
+		// Spin only one rotor so the array hears a single dominant source.
+		var speed [acoustics.NumRotors]float64
+		speed[rotor] = cfg.HoverSpeed * 1.1
+		frames := []acoustics.RotorFrame{
+			{Time: 0, Speed: speed},
+			{Time: 1, Speed: speed},
+		}
+		rec, err := acoustics.RenderFlight(frames, cfg, arr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tdoa, err := acoustics.MeasureTDoA(rec, 2000, 8192, 0.005)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pos, err := acoustics.LocalizeSource(arr, tdoa, 0.4, 0.01)
+		if err != nil {
+			log.Fatal(err)
+		}
+		id, dist := acoustics.IdentifyRotor(arr, pos)
+		status := "OK"
+		if id == rotor {
+			correct++
+		} else {
+			status = "WRONG"
+		}
+		fmt.Printf("rotor %d: localized to %v -> identified as rotor %d (%.2f m off)  [%s]\n",
+			rotor, pos, id, dist, status)
+		fmt.Printf("  pairwise TDoA vs mic 0 (microseconds): %+.1f %+.1f %+.1f\n",
+			tdoa.Delay[0][1]*1e6, tdoa.Delay[0][2]*1e6, tdoa.Delay[0][3]*1e6)
+	}
+	fmt.Printf("\n%d/%d rotors identified correctly from sound alone\n", correct, acoustics.NumRotors)
+}

@@ -1,0 +1,3 @@
+module soundboost
+
+go 1.22

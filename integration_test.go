@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIWorkflow drives the released binaries end-to-end: generate a
+// benign corpus and two incident flights, train a model, calibrate and
+// persist an analyzer, then attribute both incidents. Skipped with -short
+// (it builds binaries and simulates ~3 minutes of flight).
+func TestCLIWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "bin")
+	if err := os.MkdirAll(bin, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	build := exec.Command("go", "build", "-o", bin, "./cmd/...")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	run := func(name string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+
+	// Corpus: six short benign hovers plus two maneuvers.
+	for _, seed := range []string{"1", "2", "3", "4", "5", "6"} {
+		run("flightgen", "-out", "corpus", "-mission", "hover", "-seconds", "14", "-seed", seed)
+	}
+	run("flightgen", "-out", "corpus", "-mission", "dash", "-seed", "7")
+	run("flightgen", "-out", "corpus", "-mission", "square", "-seed", "8")
+
+	// Incidents: an IMU DoS and a GPS drift takeover.
+	run("flightgen", "-out", "incidents", "-mission", "hover", "-seconds", "26",
+		"-attack", "imu-dos", "-attack-start", "8", "-attack-end", "18", "-seed", "98")
+	run("flightgen", "-out", "incidents", "-mission", "hover", "-seconds", "36",
+		"-attack", "gps-drift", "-attack-start", "8", "-attack-end", "32",
+		"-offset-x", "110", "-seed", "99")
+
+	// Train, calibrate, persist.
+	out := run("soundboost", "train", "-flights", "corpus", "-model", "model.json", "-epochs", "40")
+	if !strings.Contains(out, "model written") {
+		t.Fatalf("train output missing confirmation:\n%s", out)
+	}
+	out = run("soundboost", "calibrate", "-model", "model.json", "-calib", "corpus", "-out", "analyzer.json")
+	if !strings.Contains(out, "calibrated analyzer written") {
+		t.Fatalf("calibrate output missing confirmation:\n%s", out)
+	}
+
+	// Attribute the incidents from the saved analyzer.
+	out = run("soundboost", "rca", "-analyzer", "analyzer.json",
+		"-flight", filepath.Join("incidents", "hover-imu-dos-98.sbf"))
+	if !strings.Contains(out, "IMU: ATTACKED") {
+		t.Errorf("IMU incident not attributed:\n%s", out)
+	}
+	out = run("soundboost", "rca", "-analyzer", "analyzer.json",
+		"-flight", filepath.Join("incidents", "hover-gps-drift-99.sbf"))
+	if !strings.Contains(out, "GPS: SPOOFED") {
+		t.Errorf("GPS incident not attributed:\n%s", out)
+	}
+
+	// The table harness runs at quick scale.
+	out = run("benchtab", "-scale", "quick", "-run", "fig3")
+	if !strings.Contains(out, "time-shift augmentation") {
+		t.Errorf("benchtab fig3 output unexpected:\n%s", out)
+	}
+}

@@ -1,0 +1,183 @@
+package acoustics
+
+import (
+	"math"
+	"math/rand"
+
+	"soundboost/internal/dsp"
+)
+
+// ExternalSourceInterference mixes the sound of an external source (second
+// UAV or speaker) into every channel with distance attenuation. Because the
+// source is not phase-synchronised with the target UAV's rotors, its energy
+// adds incoherently — the paper's real-world experiments (§IV-D) find this
+// has no measurable effect on predictions.
+type ExternalSourceInterference struct {
+	// Signal is the interfering waveform at the source, sampled at the
+	// recording's rate.
+	Signal []float64
+	// Distance from the array centre (m).
+	Distance float64
+	// RefDistance normalises the gain (same convention as ArrayConfig).
+	RefDistance float64
+	// IntensityLossFactor models additional diffusion loss observed in the
+	// paper (sound at 0.5 m arrives at ~46% of source intensity). 1 = none.
+	IntensityLossFactor float64
+}
+
+// Apply implements Interference.
+func (e ExternalSourceInterference) Apply(rec *Recording) {
+	if e.Distance <= 0 || len(e.Signal) == 0 {
+		return
+	}
+	ref := e.RefDistance
+	if ref <= 0 {
+		ref = 0.25
+	}
+	loss := e.IntensityLossFactor
+	if loss <= 0 {
+		loss = 1
+	}
+	gain := ref / e.Distance * loss
+	delay := int(math.Round(e.Distance / SpeedOfSound * rec.SampleRate))
+	n := rec.Samples()
+	for m := range rec.Channels {
+		ch := rec.Channels[m]
+		for i := 0; i < n; i++ {
+			j := i - delay
+			if j >= 0 && j < len(e.Signal) {
+				ch[i] += gain * e.Signal[j]
+			}
+		}
+	}
+}
+
+// SecondUAVSignal synthesises the sound of an interfering UAV of the same
+// model hovering nearby, for the real-world interference experiment.
+func SecondUAVSignal(cfg SynthConfig, hoverSpeed float64, samples int, seed int64) ([]float64, error) {
+	cfg.Seed = seed
+	synth, err := NewSynthesizer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	frames := []RotorFrame{
+		{Time: 0, Speed: [NumRotors]float64{hoverSpeed, hoverSpeed, hoverSpeed, hoverSpeed}},
+		{Time: float64(samples) / cfg.SampleRate, Speed: [NumRotors]float64{hoverSpeed, hoverSpeed, hoverSpeed, hoverSpeed}},
+	}
+	src := synth.SourceSignals(frames)
+	out := make([]float64, len(src))
+	for i, s := range src {
+		out[i] = (s[0] + s[1] + s[2] + s[3]) / 4
+	}
+	return out, nil
+}
+
+// ReplaySignal models a record-and-replay speaker attack: a previously
+// recorded single-channel UAV sound played at a volume cap. The paper caps
+// attacker hardware at ~100 dB portable speakers.
+type ReplaySignal struct {
+	// Recording is the replayed waveform.
+	Recording []float64
+	// VolumeGain scales the replay relative to the original recording.
+	VolumeGain float64
+}
+
+// Signal returns the replayed waveform after gain.
+func (r ReplaySignal) Signal() []float64 {
+	out := make([]float64, len(r.Recording))
+	for i, v := range r.Recording {
+		out[i] = v * r.VolumeGain
+	}
+	return out
+}
+
+// PhaseSyncedBandAttack is the idealised adversary of Tab. III: an attacker
+// with perfect phase synchronisation that multiplies the aerodynamic
+// frequency band on selected channels by an amplitude factor
+// (0 = full cancellation, 2 = 200% amplification). Real attackers cannot
+// achieve this (§IV-D), but it bounds the worst case.
+type PhaseSyncedBandAttack struct {
+	// Channels lists the attacked microphone indices (0-based).
+	Channels []int
+	// Amplitude is the target band amplitude as a fraction of the original
+	// (1 = untouched).
+	Amplitude float64
+	// BandCenter and BandQ select the attacked band; zero values default to
+	// the aerodynamic group (5.5 kHz, Q 2).
+	BandCenter float64
+	BandQ      float64
+}
+
+// Apply implements Interference: it extracts the band content with a
+// band-pass filter and adds (Amplitude-1) times it back, exactly scaling
+// the band while leaving the rest of the spectrum untouched.
+func (p PhaseSyncedBandAttack) Apply(rec *Recording) {
+	center := p.BandCenter
+	if center == 0 {
+		center = 5500
+	}
+	q := p.BandQ
+	if q == 0 {
+		q = 2
+	}
+	for _, m := range p.Channels {
+		if m < 0 || m >= NumMics {
+			continue
+		}
+		// Forward-backward filtering for (near) zero-phase band extraction,
+		// so the injected anti-signal stays phase-aligned.
+		f1, err := dsp.NewBandPass(center, q, rec.SampleRate)
+		if err != nil {
+			return
+		}
+		fwd := f1.ProcessAll(rec.Channels[m])
+		reverse(fwd)
+		f1.Reset()
+		band := f1.ProcessAll(fwd)
+		reverse(band)
+		scale := p.Amplitude - 1
+		ch := rec.Channels[m]
+		for i := range ch {
+			ch[i] += scale * band[i]
+		}
+	}
+}
+
+func reverse(x []float64) {
+	for i, j := 0, len(x)-1; i < j; i, j = i+1, j-1 {
+		x[i], x[j] = x[j], x[i]
+	}
+}
+
+// AmbientNoiseBurst adds wideband noise bursts (e.g. passing vehicles) for
+// robustness testing of the signature pipeline.
+type AmbientNoiseBurst struct {
+	// StartSample and Samples bound the burst.
+	StartSample int
+	Samples     int
+	// Std is the burst noise amplitude.
+	Std float64
+	// Seed drives the noise.
+	Seed int64
+}
+
+// Apply implements Interference.
+func (a AmbientNoiseBurst) Apply(rec *Recording) {
+	rng := rand.New(rand.NewSource(a.Seed))
+	end := a.StartSample + a.Samples
+	for m := range rec.Channels {
+		ch := rec.Channels[m]
+		for i := a.StartSample; i < end && i < len(ch); i++ {
+			if i >= 0 {
+				ch[i] += rng.NormFloat64() * a.Std
+			}
+		}
+	}
+}
+
+// Verify interface compliance.
+var (
+	_ Interference = ExternalSourceInterference{}
+	_ Interference = PhaseSyncedBandAttack{}
+	_ Interference = AmbientNoiseBurst{}
+)

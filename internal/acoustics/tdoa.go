@@ -1,0 +1,90 @@
+package acoustics
+
+import (
+	"fmt"
+	"math"
+
+	"soundboost/internal/dsp"
+	"soundboost/internal/mathx"
+)
+
+// TDoAResult holds the pairwise time differences of arrival measured
+// between microphone channels for one analysis segment.
+type TDoAResult struct {
+	// Delay[i][j] is the arrival delay of channel j relative to channel i
+	// in seconds (antisymmetric up to estimation noise).
+	Delay [NumMics][NumMics]float64
+}
+
+// MeasureTDoA estimates pairwise TDoAs over the recording segment
+// [startSample, startSample+samples) using GCC-PHAT. maxSeconds bounds the
+// physically-possible delay (array aperture / speed of sound).
+func MeasureTDoA(rec *Recording, startSample, samples int, maxSeconds float64) (TDoAResult, error) {
+	var out TDoAResult
+	if rec == nil || rec.Samples() == 0 {
+		return out, fmt.Errorf("acoustics: empty recording")
+	}
+	if startSample < 0 || samples <= 0 || startSample+samples > rec.Samples() {
+		return out, fmt.Errorf("acoustics: TDoA segment [%d, %d) outside recording of %d samples",
+			startSample, startSample+samples, rec.Samples())
+	}
+	for i := 0; i < NumMics; i++ {
+		for j := i + 1; j < NumMics; j++ {
+			a := rec.Channels[i][startSample : startSample+samples]
+			b := rec.Channels[j][startSample : startSample+samples]
+			d, err := dsp.EstimateTDoA(a, b, rec.SampleRate, maxSeconds)
+			if err != nil {
+				return out, err
+			}
+			out.Delay[i][j] = d
+			out.Delay[j][i] = -d
+		}
+	}
+	return out, nil
+}
+
+// LocalizeSource estimates the position of a dominant sound source in the
+// array's (body) frame from pairwise TDoAs by grid search over candidate
+// positions: the paper's §II-D propeller localization. The search plane is
+// z = 0 (rotor plane); halfSpan bounds the search square and step sets its
+// resolution.
+func LocalizeSource(cfg ArrayConfig, tdoa TDoAResult, halfSpan, step float64) (mathx.Vec3, error) {
+	if halfSpan <= 0 || step <= 0 {
+		return mathx.Vec3{}, fmt.Errorf("acoustics: invalid search grid (halfSpan %g, step %g)", halfSpan, step)
+	}
+	best := mathx.Vec3{}
+	bestCost := math.Inf(1)
+	for x := -halfSpan; x <= halfSpan; x += step {
+		for y := -halfSpan; y <= halfSpan; y += step {
+			p := mathx.Vec3{X: x, Y: y}
+			cost := 0.0
+			for i := 0; i < NumMics; i++ {
+				for j := i + 1; j < NumMics; j++ {
+					di := p.Dist(cfg.MicPositions[i])
+					dj := p.Dist(cfg.MicPositions[j])
+					predicted := (dj - di) / SpeedOfSound
+					e := predicted - tdoa.Delay[i][j]
+					cost += e * e
+				}
+			}
+			if cost < bestCost {
+				bestCost = cost
+				best = p
+			}
+		}
+	}
+	return best, nil
+}
+
+// IdentifyRotor maps a localized source position to the nearest configured
+// rotor index and the distance to it.
+func IdentifyRotor(cfg ArrayConfig, source mathx.Vec3) (rotor int, dist float64) {
+	dist = math.Inf(1)
+	for r := 0; r < NumRotors; r++ {
+		if d := source.Dist(cfg.RotorPositions[r]); d < dist {
+			dist = d
+			rotor = r
+		}
+	}
+	return rotor, dist
+}

@@ -1,0 +1,107 @@
+package acoustics
+
+import (
+	"math"
+	"testing"
+
+	"soundboost/internal/mathx"
+)
+
+// singleRotorRecording renders a recording where only one rotor spins, so
+// TDoA localization has a single dominant source.
+func singleRotorRecording(t *testing.T, rotor int, cfg SynthConfig) *Recording {
+	t.Helper()
+	var speed [NumRotors]float64
+	speed[rotor] = cfg.HoverSpeed * 1.1
+	frames := []RotorFrame{
+		{Time: 0, Speed: speed},
+		{Time: 1.0, Speed: speed},
+	}
+	rec, err := RenderFlight(frames, cfg, DefaultArrayConfig(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestMeasureTDoAAntisymmetric(t *testing.T) {
+	cfg := DefaultSynthConfig()
+	cfg.AmbientStd = 0.001
+	rec := singleRotorRecording(t, 0, cfg)
+	res, err := MeasureTDoA(rec, 1000, 8192, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < NumMics; i++ {
+		if res.Delay[i][i] != 0 {
+			t.Errorf("self-delay [%d][%d] = %v", i, i, res.Delay[i][i])
+		}
+		for j := 0; j < NumMics; j++ {
+			if math.Abs(res.Delay[i][j]+res.Delay[j][i]) > 1e-12 {
+				t.Errorf("delay not antisymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMeasureTDoABounds(t *testing.T) {
+	cfg := DefaultSynthConfig()
+	rec := singleRotorRecording(t, 0, cfg)
+	if _, err := MeasureTDoA(rec, -1, 100, 0.01); err == nil {
+		t.Error("negative start accepted")
+	}
+	if _, err := MeasureTDoA(rec, 0, rec.Samples()+1, 0.01); err == nil {
+		t.Error("overlong segment accepted")
+	}
+	if _, err := MeasureTDoA(nil, 0, 10, 0.01); err == nil {
+		t.Error("nil recording accepted")
+	}
+}
+
+// The §II-D claim: with an off-centre array, each rotor can be identified
+// from its TDoA signature.
+func TestLocalizeIdentifiesRotors(t *testing.T) {
+	cfg := DefaultSynthConfig()
+	cfg.AmbientStd = 0.001
+	cfg.WindNoiseCoeff = 0
+	arr := DefaultArrayConfig(0.25)
+	for rotor := 0; rotor < NumRotors; rotor++ {
+		rec := singleRotorRecording(t, rotor, cfg)
+		res, err := MeasureTDoA(rec, 2000, 8192, 0.005)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos, err := LocalizeSource(arr, res, 0.4, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, dist := IdentifyRotor(arr, pos)
+		if got != rotor {
+			t.Errorf("rotor %d localized to %v -> identified as rotor %d (%.2f m off)", rotor, pos, got, dist)
+		}
+	}
+}
+
+func TestLocalizeSourceValidation(t *testing.T) {
+	if _, err := LocalizeSource(DefaultArrayConfig(0.25), TDoAResult{}, 0, 0.01); err == nil {
+		t.Error("zero half-span accepted")
+	}
+	if _, err := LocalizeSource(DefaultArrayConfig(0.25), TDoAResult{}, 0.4, 0); err == nil {
+		t.Error("zero step accepted")
+	}
+}
+
+func TestIdentifyRotorNearest(t *testing.T) {
+	arr := DefaultArrayConfig(0.25)
+	for r := 0; r < NumRotors; r++ {
+		// A point slightly displaced from rotor r must map back to r.
+		p := arr.RotorPositions[r].Add(mathx.Vec3{X: 0.02, Y: -0.01})
+		got, dist := IdentifyRotor(arr, p)
+		if got != r {
+			t.Errorf("point near rotor %d identified as %d", r, got)
+		}
+		if dist > 0.05 {
+			t.Errorf("distance %v too large", dist)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package baselines implements the detectors SoundBoost is compared
+// against in Tab. II: the ArduPilot-style failsafe using IMU-only Kalman
+// estimation, the Control Invariant LTI monitors of Choi et al. (yaw rate,
+// vx, vy), and the DNN (LSTM) control-dynamics approximation of Ding et
+// al. All baselines consume only flight telemetry — never audio and never
+// simulation ground truth.
+package baselines
+
+import (
+	"fmt"
+
+	"soundboost/internal/dataset"
+	"soundboost/internal/kalman"
+	"soundboost/internal/mathx"
+	"soundboost/internal/sensors"
+	"soundboost/internal/stats"
+)
+
+// Verdict is a baseline detector's decision on one flight period.
+type Verdict struct {
+	// Attacked reports whether an alarm was raised.
+	Attacked bool
+	// DetectionTime is the flight time of the first alarm (s).
+	DetectionTime float64
+	// PeakStat is the maximum monitored statistic.
+	PeakStat float64
+	// Threshold is the calibrated alarm level.
+	Threshold float64
+}
+
+// Detector is a calibrated flight-period attack detector.
+type Detector interface {
+	// Name identifies the detector in tables.
+	Name() string
+	// Detect analyses one flight period.
+	Detect(f *dataset.Flight) (Verdict, error)
+}
+
+// ---------------------------------------------------------------------------
+// Failsafe: IMU-only Kalman velocity estimation vs GPS velocity.
+
+// FailsafeConfig tunes the IMU-only failsafe baseline.
+type FailsafeConfig struct {
+	// StepSeconds is the fusion step (matches SoundBoost's hop for a fair
+	// comparison).
+	StepSeconds float64
+	// ThresholdMargin scales the benign ceiling.
+	ThresholdMargin float64
+	// OutlierSigma trims benign peaks before the max.
+	OutlierSigma float64
+	// ErrorAlpha is the running-mean weight.
+	ErrorAlpha float64
+}
+
+// DefaultFailsafeConfig returns the tuned configuration.
+func DefaultFailsafeConfig() FailsafeConfig {
+	return FailsafeConfig{StepSeconds: 0.25, ThresholdMargin: 1.1, OutlierSigma: 3, ErrorAlpha: 0.05}
+}
+
+// Failsafe is the IMU-only ablation: the same running-mean velocity-error
+// monitor as SoundBoost, but the Kalman filter sees only IMU data — so an
+// IMU-consistent spoof (or plain IMU drift) degrades it.
+type Failsafe struct {
+	cfg       FailsafeConfig
+	threshold float64
+}
+
+// failsafeTrace runs the IMU-only KF over a flight and returns the running
+// error series with timestamps.
+func (b *Failsafe) trace(f *dataset.Flight) (times, running []float64, err error) {
+	if len(f.Telemetry) == 0 {
+		return nil, nil, fmt.Errorf("baselines: empty telemetry")
+	}
+	est, err := kalman.NewVelocityEstimator(kalman.DefaultVelocityConfig(kalman.ModeIMUOnly), f.Telemetry[0].GPSVel)
+	if err != nil {
+		return nil, nil, err
+	}
+	monitor := stats.RunningMean{Alpha: b.cfg.ErrorAlpha}
+	gravity := mathx.Vec3{Z: sensors.Gravity}
+	step := b.cfg.StepSeconds
+	start := f.Telemetry[0].Time
+	for t := start; t+step <= f.Telemetry[len(f.Telemetry)-1].Time; t += step {
+		tel := f.TelemetryBetween(t, t+step)
+		if len(tel) == 0 {
+			continue
+		}
+		att := tel[len(tel)/2].EstAtt
+		var imuSum mathx.Vec3
+		for _, s := range tel {
+			imuSum = imuSum.Add(s.IMUAccel)
+		}
+		imuNED := att.Rotate(imuSum.Scale(1 / float64(len(tel)))).Add(gravity)
+		if err := est.Step(imuNED, imuNED, step); err != nil {
+			return nil, nil, err
+		}
+		e := est.Velocity().Sub(tel[len(tel)-1].GPSVel).Norm()
+		times = append(times, t+step)
+		running = append(running, monitor.Add(e))
+	}
+	return times, running, nil
+}
+
+// NewFailsafe calibrates the failsafe threshold on benign flights.
+func NewFailsafe(benign []*dataset.Flight, cfg FailsafeConfig) (*Failsafe, error) {
+	if len(benign) == 0 {
+		return nil, fmt.Errorf("baselines: failsafe needs benign calibration flights")
+	}
+	b := &Failsafe{cfg: cfg}
+	var peaks []float64
+	for _, f := range benign {
+		_, running, err := b.trace(f)
+		if err != nil {
+			return nil, err
+		}
+		peaks = append(peaks, stats.Max(running))
+	}
+	b.threshold = stats.Max(stats.TrimOutliers(peaks, cfg.OutlierSigma)) * cfg.ThresholdMargin
+	if b.threshold <= 0 {
+		return nil, fmt.Errorf("baselines: degenerate failsafe threshold")
+	}
+	return b, nil
+}
+
+// Name implements Detector.
+func (b *Failsafe) Name() string { return "failsafe-imu-only" }
+
+// Detect implements Detector.
+func (b *Failsafe) Detect(f *dataset.Flight) (Verdict, error) {
+	times, running, err := b.trace(f)
+	if err != nil {
+		return Verdict{}, err
+	}
+	v := Verdict{Threshold: b.threshold}
+	for i, e := range running {
+		if e > v.PeakStat {
+			v.PeakStat = e
+		}
+		if e > b.threshold && !v.Attacked {
+			v.Attacked = true
+			v.DetectionTime = times[i]
+		}
+	}
+	return v, nil
+}
+
+// Verify interface compliance.
+var _ Detector = (*Failsafe)(nil)

@@ -1,0 +1,163 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"soundboost/internal/dataset"
+	"soundboost/internal/nn"
+	"soundboost/internal/stats"
+)
+
+// DNNConfig tunes the LSTM control-dynamics baseline (Ding et al. [15]).
+type DNNConfig struct {
+	// SeqLen is the input sequence length (telemetry steps).
+	SeqLen int
+	// StepSeconds downsamples telemetry to this step.
+	StepSeconds float64
+	// Hidden is the LSTM width.
+	Hidden int
+	// Train configures the optimisation loop.
+	Train nn.TrainConfig
+	// ThresholdQuantile sets the alarm level at this quantile of the
+	// *training* prediction errors — the original method thresholds on
+	// data it has already fit, which is what makes it trigger-happy on
+	// unseen flights (Tab. II: FPR 0.73).
+	ThresholdQuantile float64
+	// DetectSteps is how many consecutive threshold crossings alarm.
+	DetectSteps int
+	// Seed drives initialisation.
+	Seed int64
+}
+
+// DefaultDNNConfig returns the tuned configuration.
+func DefaultDNNConfig() DNNConfig {
+	return DNNConfig{
+		SeqLen:            8,
+		StepSeconds:       0.1,
+		Hidden:            16,
+		Train:             nn.TrainConfig{Epochs: 25, BatchSize: 32, LR: 5e-3, Seed: 3},
+		ThresholdQuantile: 0.995,
+		DetectSteps:       3,
+		Seed:              3,
+	}
+}
+
+// DNN approximates the UAV's control dynamics with an LSTM: it predicts the
+// next control-state vector from the recent telemetry series and flags
+// sustained prediction errors.
+type DNN struct {
+	cfg       DNNConfig
+	lstm      *nn.LSTM
+	threshold float64
+	inNorm    []float64 // per-feature scale
+}
+
+// dnnRow is one telemetry feature row: [gyro xyz, accel z, vx, vy, vz].
+func dnnRow(s dataset.TelemetrySample) []float64 {
+	return []float64{
+		s.IMUGyro.X, s.IMUGyro.Y, s.IMUGyro.Z,
+		s.IMUAccel.Z / 10,
+		s.GPSVel.X, s.GPSVel.Y, s.GPSVel.Z,
+	}
+}
+
+const dnnFeatures = 7
+
+// dnnSeries downsamples one flight into feature rows.
+func dnnSeries(f *dataset.Flight, step float64) [][]float64 {
+	var rows [][]float64
+	if len(f.Telemetry) == 0 {
+		return nil
+	}
+	next := f.Telemetry[0].Time
+	for _, s := range f.Telemetry {
+		if s.Time < next {
+			continue
+		}
+		next = s.Time + step
+		rows = append(rows, dnnRow(s))
+	}
+	return rows
+}
+
+// NewDNN trains the LSTM on benign flights and sets its threshold from the
+// training-error distribution.
+func NewDNN(benign []*dataset.Flight, cfg DNNConfig) (*DNN, error) {
+	if len(benign) == 0 {
+		return nil, fmt.Errorf("baselines: DNN needs benign training flights")
+	}
+	if cfg.SeqLen < 2 {
+		return nil, fmt.Errorf("baselines: sequence length %d too short", cfg.SeqLen)
+	}
+	var seqs [][][]float64
+	var targets [][]float64
+	for _, f := range benign {
+		rows := dnnSeries(f, cfg.StepSeconds)
+		for i := 0; i+cfg.SeqLen < len(rows); i++ {
+			seqs = append(seqs, rows[i:i+cfg.SeqLen])
+			targets = append(targets, rows[i+cfg.SeqLen])
+		}
+	}
+	if len(seqs) == 0 {
+		return nil, fmt.Errorf("baselines: no training sequences")
+	}
+	l := nn.NewLSTM(dnnFeatures, cfg.Hidden, dnnFeatures, rand.New(rand.NewSource(cfg.Seed)))
+	if _, err := nn.TrainLSTM(l, seqs, targets, cfg.Train); err != nil {
+		return nil, err
+	}
+	// Threshold from training-set errors (the method's own weakness).
+	var errs []float64
+	for i, s := range seqs {
+		pred := l.Forward(s)
+		var e float64
+		for j, p := range pred {
+			d := p - targets[i][j]
+			e += d * d
+		}
+		errs = append(errs, e)
+	}
+	threshold := stats.Quantile(errs, cfg.ThresholdQuantile)
+	if threshold <= 0 {
+		return nil, fmt.Errorf("baselines: degenerate DNN threshold")
+	}
+	return &DNN{cfg: cfg, lstm: l, threshold: threshold}, nil
+}
+
+// Name implements Detector.
+func (b *DNN) Name() string { return "dnn-lstm" }
+
+// Detect implements Detector.
+func (b *DNN) Detect(f *dataset.Flight) (Verdict, error) {
+	rows := dnnSeries(f, b.cfg.StepSeconds)
+	if len(rows) <= b.cfg.SeqLen {
+		return Verdict{}, fmt.Errorf("baselines: flight too short for DNN")
+	}
+	v := Verdict{Threshold: b.threshold}
+	consecutive := 0
+	start := f.Telemetry[0].Time
+	for i := 0; i+b.cfg.SeqLen < len(rows); i++ {
+		pred := b.lstm.Forward(rows[i : i+b.cfg.SeqLen])
+		var e float64
+		for j, p := range pred {
+			d := p - rows[i+b.cfg.SeqLen][j]
+			e += d * d
+		}
+		if e > v.PeakStat {
+			v.PeakStat = e
+		}
+		if e > b.threshold {
+			consecutive++
+			if consecutive >= b.cfg.DetectSteps && !v.Attacked {
+				v.Attacked = true
+				v.DetectionTime = start + float64(i+b.cfg.SeqLen)*b.cfg.StepSeconds
+			}
+		} else {
+			consecutive = 0
+		}
+	}
+	return v, nil
+}
+
+// Verify interface compliance.
+var _ Detector = (*DNN)(nil)

@@ -1,0 +1,171 @@
+package baselines
+
+import (
+	"fmt"
+
+	"soundboost/internal/dataset"
+	"soundboost/internal/stats"
+	"soundboost/internal/sysid"
+)
+
+// LTIOutput selects which state the Control Invariant monitor watches —
+// the three columns of Tab. II.
+type LTIOutput int
+
+const (
+	// LTIYaw monitors the yaw rate (gyro z).
+	LTIYaw LTIOutput = iota
+	// LTIVx monitors the north velocity.
+	LTIVx
+	// LTIVy monitors the east velocity.
+	LTIVy
+)
+
+// String implements fmt.Stringer.
+func (o LTIOutput) String() string {
+	switch o {
+	case LTIYaw:
+		return "yaw"
+	case LTIVx:
+		return "vx"
+	case LTIVy:
+		return "vy"
+	default:
+		return fmt.Sprintf("LTIOutput(%d)", int(o))
+	}
+}
+
+// LTIConfig tunes the Control Invariant baseline.
+type LTIConfig struct {
+	// Output selects the monitored state.
+	Output LTIOutput
+	// StepSeconds downsamples telemetry to this step before fitting
+	// (GPS-rate, per the original method's sampling).
+	StepSeconds float64
+	// Damping stabilises the least-squares fit.
+	Damping float64
+	// ThresholdMargin scales the calibrated benign ceiling.
+	ThresholdMargin float64
+	// Decay leaks the error accumulator per step.
+	Decay float64
+}
+
+// DefaultLTIConfig returns the tuned configuration for an output.
+func DefaultLTIConfig(output LTIOutput) LTIConfig {
+	return LTIConfig{Output: output, StepSeconds: 0.1, Damping: 1e-6, ThresholdMargin: 1.3, Decay: 0.05}
+}
+
+// LTI is the Control Invariant baseline: a least-squares LTI model of the
+// vehicle's observed kinematics (gyro rates + GPS velocity driven by motor
+// commands) serves as an invariant monitor with a leaky error accumulator.
+type LTI struct {
+	cfg     LTIConfig
+	model   *sysid.LTIModel
+	monitor sysid.Monitor
+}
+
+// flightSeries extracts (state, control) rows at the configured step.
+// State: [gyroX, gyroY, gyroZ, vx, vy, vz]; control: motor speeds
+// normalised by 1000 (keeps the regression well conditioned).
+func flightSeries(f *dataset.Flight, step float64) (states, controls [][]float64) {
+	if len(f.Telemetry) == 0 {
+		return nil, nil
+	}
+	next := f.Telemetry[0].Time
+	for _, s := range f.Telemetry {
+		if s.Time < next {
+			continue
+		}
+		next = s.Time + step
+		states = append(states, []float64{
+			s.IMUGyro.X, s.IMUGyro.Y, s.IMUGyro.Z,
+			s.GPSVel.X, s.GPSVel.Y, s.GPSVel.Z,
+		})
+		controls = append(controls, []float64{
+			s.Motor[0] / 1000, s.Motor[1] / 1000, s.Motor[2] / 1000, s.Motor[3] / 1000,
+		})
+	}
+	return states, controls
+}
+
+// NewLTI fits the invariant model and calibrates the monitor threshold on
+// benign flights.
+func NewLTI(benign []*dataset.Flight, cfg LTIConfig) (*LTI, error) {
+	if len(benign) == 0 {
+		return nil, fmt.Errorf("baselines: LTI needs benign calibration flights")
+	}
+	var allStates, allControls [][]float64
+	for _, f := range benign {
+		s, c := flightSeries(f, cfg.StepSeconds)
+		if len(s) > 1 {
+			allStates = append(allStates, s...)
+			allControls = append(allControls, c...)
+		}
+	}
+	if len(allStates) < 10 {
+		return nil, fmt.Errorf("baselines: insufficient LTI fitting data (%d rows)", len(allStates))
+	}
+	model, err := sysid.Fit(allStates, allControls[:len(allStates)-1], cfg.Damping)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: LTI fit: %w", err)
+	}
+	outIdx := map[LTIOutput]int{LTIYaw: 2, LTIVx: 3, LTIVy: 4}[cfg.Output]
+	b := &LTI{cfg: cfg, model: model}
+	b.monitor = sysid.Monitor{Model: model, Output: outIdx, Decay: cfg.Decay}
+
+	// Calibrate: highest accumulator value over each benign flight.
+	var peaks []float64
+	for _, f := range benign {
+		s, c := flightSeries(f, cfg.StepSeconds)
+		if len(s) < 2 {
+			continue
+		}
+		b.monitor.Reset()
+		b.monitor.Threshold = 1e308
+		peak := 0.0
+		for k := 0; k+1 < len(s); k++ {
+			acc, _, err := b.monitor.Step(s[k], c[k], s[k+1])
+			if err != nil {
+				return nil, err
+			}
+			if acc > peak {
+				peak = acc
+			}
+		}
+		peaks = append(peaks, peak)
+	}
+	b.monitor.Threshold = stats.Max(stats.TrimOutliers(peaks, 3)) * cfg.ThresholdMargin
+	b.monitor.Reset()
+	return b, nil
+}
+
+// Name implements Detector.
+func (b *LTI) Name() string { return "lti-" + b.cfg.Output.String() }
+
+// Detect implements Detector.
+func (b *LTI) Detect(f *dataset.Flight) (Verdict, error) {
+	s, c := flightSeries(f, b.cfg.StepSeconds)
+	if len(s) < 2 {
+		return Verdict{}, fmt.Errorf("baselines: flight too short for LTI")
+	}
+	b.monitor.Reset()
+	v := Verdict{Threshold: b.monitor.Threshold}
+	start := f.Telemetry[0].Time
+	for k := 0; k+1 < len(s); k++ {
+		acc, alarmed, err := b.monitor.Step(s[k], c[k], s[k+1])
+		if err != nil {
+			return Verdict{}, err
+		}
+		if acc > v.PeakStat {
+			v.PeakStat = acc
+		}
+		if alarmed && !v.Attacked {
+			v.Attacked = true
+			v.DetectionTime = start + float64(k)*b.cfg.StepSeconds
+		}
+	}
+	return v, nil
+}
+
+// Verify interface compliance.
+var _ Detector = (*LTI)(nil)

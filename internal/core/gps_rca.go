@@ -1,0 +1,278 @@
+package soundboost
+
+import (
+	"fmt"
+
+	"soundboost/internal/dataset"
+	"soundboost/internal/kalman"
+	"soundboost/internal/mathx"
+	"soundboost/internal/sensors"
+	"soundboost/internal/stats"
+)
+
+// GPSDetectorConfig tunes the GPS-spoofing RCA stage (§III-C2).
+type GPSDetectorConfig struct {
+	// Mode selects the KF variant (audio-only / audio+IMU / imu-only).
+	Mode kalman.Mode
+	// ThresholdMargin scales the calibrated benign threshold (>= 1).
+	ThresholdMargin float64
+	// PeakQuantile sets the threshold at this quantile of the benign
+	// per-flight peak errors before the margin. The paper thresholds at
+	// "the maximum running mean error of the benign cases after removing
+	// outliers" — and its own benign false-positive rates (0.10-0.23)
+	// show the removed 'outliers' are the top of the benign distribution,
+	// i.e. the threshold sits inside it.
+	PeakQuantile float64
+	// ErrorAlpha is the exponential running-mean weight of the error
+	// monitor.
+	ErrorAlpha float64
+	// AlignSeconds is the alignment phase at the start of each analysed
+	// period: the constant bias of the audio (and IMU) acceleration stream
+	// is estimated against GPS velocity deltas and removed before
+	// integration. Per the threat model, attacks begin after take-off, so
+	// the opening seconds are trustworthy; without alignment, an
+	// acceleration bias of b m/s^2 drifts the velocity estimate by b*T
+	// over a T-second period and swamps the spoofing signal.
+	AlignSeconds float64
+	// BiasTauSeconds continues tracking the slow acceleration bias after
+	// alignment with this EWMA time constant, using GPS velocity
+	// *derivatives* as the reference. Differentiation makes the tracker
+	// transparent to the constant velocity offset a drift spoof injects
+	// (it differentiates to zero) while absorbing slowly-varying benign
+	// bias such as wind drag. 0 disables tracking.
+	BiasTauSeconds float64
+	// Velocity configures the underlying Kalman fusion.
+	Velocity kalman.VelocityConfig
+}
+
+// DefaultGPSDetectorConfig returns the tuned configuration for a mode.
+func DefaultGPSDetectorConfig(mode kalman.Mode) GPSDetectorConfig {
+	return GPSDetectorConfig{
+		Mode:            mode,
+		ThresholdMargin: 1.1,
+		PeakQuantile:    0.8,
+		ErrorAlpha:      0.05,
+		AlignSeconds:    5,
+		BiasTauSeconds:  8,
+		Velocity:        kalman.DefaultVelocityConfig(mode),
+	}
+}
+
+// GPSTrace is the per-window diagnostic series of one flight's GPS RCA —
+// the raw material for Fig. 7.
+type GPSTrace struct {
+	// Time is the window end time (s).
+	Time []float64
+	// FusedVel is the KF velocity estimate (NED).
+	FusedVel []mathx.Vec3
+	// GPSVel is the reported GPS velocity (NED).
+	GPSVel []mathx.Vec3
+	// FusedPos integrates FusedVel (SoundBoost's position estimate).
+	FusedPos []mathx.Vec3
+	// RunningError is the monitored running-mean velocity error.
+	RunningError []float64
+}
+
+// GPSVerdict is the outcome of the GPS RCA stage on one flight period.
+type GPSVerdict struct {
+	// Attacked reports whether GPS spoofing was flagged.
+	Attacked bool
+	// DetectionTime is the flight time (s) when the running error first
+	// crossed the threshold (valid when Attacked).
+	DetectionTime float64
+	// PeakError is the maximum running-mean error observed.
+	PeakError float64
+	// Threshold is the detector threshold used.
+	Threshold float64
+}
+
+// GPSDetector flags GPS spoofing by fusing audio (and optionally IMU)
+// acceleration into a velocity estimate and monitoring the running mean of
+// its disagreement with GPS-reported velocity.
+type GPSDetector struct {
+	cfg       GPSDetectorConfig
+	model     *AcousticModel
+	threshold float64
+}
+
+// runFlight produces the error trace of one flight under the detector's KF.
+func (d *GPSDetector) runFlight(f *dataset.Flight) (*GPSTrace, error) {
+	ex, err := NewExtractor(f.Audio, d.model.cfg.Signature)
+	if err != nil {
+		return nil, err
+	}
+	win := d.model.cfg.Signature.WindowSeconds
+	hop := d.model.cfg.Signature.HopSeconds
+	starts := ex.WindowStarts(win)
+	if len(starts) == 0 {
+		return nil, fmt.Errorf("soundboost: flight too short for GPS RCA")
+	}
+
+	// Initial velocity from the first GPS fix (pre-attack per threat model).
+	v0 := mathx.Vec3{}
+	if len(f.Telemetry) > 0 {
+		v0 = f.Telemetry[0].GPSVel
+	}
+	est, err := kalman.NewVelocityEstimator(d.cfg.Velocity, v0)
+	if err != nil {
+		return nil, err
+	}
+	monitor := stats.RunningMean{Alpha: d.cfg.ErrorAlpha}
+	trace := &GPSTrace{}
+	pos := mathx.Vec3{}
+	if len(f.Telemetry) > 0 {
+		pos = f.Telemetry[0].GPSPos
+	}
+	gravity := mathx.Vec3{Z: sensors.Gravity}
+
+	// Per-window NED acceleration streams and aligned GPS velocities.
+	type windowObs struct {
+		t        float64
+		audioNED mathx.Vec3
+		imuNED   mathx.Vec3
+		gpsVel   mathx.Vec3
+	}
+	var obs []windowObs
+	for _, t0 := range starts {
+		feat := windowFeatures(ex, f, t0, win)
+		if feat == nil {
+			continue
+		}
+		tel := f.TelemetryBetween(t0, t0+win)
+		if len(tel) == 0 {
+			continue
+		}
+		// Mean attitude/IMU/GPS over the window.
+		att := tel[len(tel)/2].EstAtt
+		var imuSum mathx.Vec3
+		for _, s := range tel {
+			imuSum = imuSum.Add(s.IMUAccel)
+		}
+		imuBody := imuSum.Scale(1 / float64(len(tel)))
+		predBody := d.model.Predict(feat)
+		// Window-mean GPS velocity: the fused estimate integrates
+		// window-mean accelerations, so the reference must share its
+		// timebase or turns read as spurious error.
+		var gpsSum mathx.Vec3
+		for _, s := range tel {
+			gpsSum = gpsSum.Add(s.GPSVel)
+		}
+		obs = append(obs, windowObs{
+			t:        t0 + win,
+			audioNED: att.Rotate(predBody).Add(gravity),
+			imuNED:   att.Rotate(imuBody).Add(gravity),
+			gpsVel:   gpsSum.Scale(1 / float64(len(tel))),
+		})
+	}
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("soundboost: no usable windows for GPS RCA")
+	}
+
+	// Alignment phase (attacks begin after take-off): estimate the
+	// constant acceleration bias of each stream against GPS velocity
+	// deltas over the opening seconds, then remove it.
+	var audioBias, imuBias mathx.Vec3
+	alignN := 0
+	if d.cfg.AlignSeconds > 0 {
+		t0 := obs[0].t
+		var audioInt, imuInt mathx.Vec3
+		for i, o := range obs {
+			if o.t-t0 > d.cfg.AlignSeconds {
+				break
+			}
+			audioInt = audioInt.Add(o.audioNED.Scale(hop))
+			imuInt = imuInt.Add(o.imuNED.Scale(hop))
+			alignN = i + 1
+		}
+		if alignN > 1 {
+			alignT := float64(alignN) * hop
+			dv := obs[alignN-1].gpsVel.Sub(obs[0].gpsVel)
+			audioBias = audioInt.Sub(dv).Scale(1 / alignT)
+			imuBias = imuInt.Sub(dv).Scale(1 / alignT)
+		}
+	}
+
+	for i, o := range obs {
+		if d.cfg.BiasTauSeconds > 0 && i >= 1 && i >= alignN {
+			// Slow bias tracking against the GPS velocity derivative.
+			gpsAccel := o.gpsVel.Sub(obs[i-1].gpsVel).Scale(1 / hop)
+			alpha := hop / d.cfg.BiasTauSeconds
+			audioBias = audioBias.Add(o.audioNED.Sub(gpsAccel).Sub(audioBias).Scale(alpha))
+			imuBias = imuBias.Add(o.imuNED.Sub(gpsAccel).Sub(imuBias).Scale(alpha))
+		}
+		if err := est.Step(o.audioNED.Sub(audioBias), o.imuNED.Sub(imuBias), hop); err != nil {
+			return nil, err
+		}
+		fused := est.Velocity()
+		pos = pos.Add(fused.Scale(hop))
+		var running float64
+		if i >= alignN {
+			running = monitor.Add(fused.Sub(o.gpsVel).Norm())
+		}
+		trace.Time = append(trace.Time, o.t)
+		trace.FusedVel = append(trace.FusedVel, fused)
+		trace.GPSVel = append(trace.GPSVel, o.gpsVel)
+		trace.FusedPos = append(trace.FusedPos, pos)
+		trace.RunningError = append(trace.RunningError, running)
+	}
+	return trace, nil
+}
+
+// NewGPSDetector calibrates the detection threshold on benign flights:
+// the maximum benign running-mean error after outlier removal, scaled by
+// the margin.
+func NewGPSDetector(model *AcousticModel, benignFlights []*dataset.Flight, cfg GPSDetectorConfig) (*GPSDetector, error) {
+	if cfg.ThresholdMargin < 1 {
+		cfg.ThresholdMargin = 1
+	}
+	if len(benignFlights) == 0 {
+		return nil, fmt.Errorf("soundboost: GPS detector needs benign calibration flights")
+	}
+	if cfg.PeakQuantile <= 0 || cfg.PeakQuantile > 1 {
+		cfg.PeakQuantile = 0.75
+	}
+	d := &GPSDetector{cfg: cfg, model: model}
+	var peaks []float64
+	for _, f := range benignFlights {
+		trace, err := d.runFlight(f)
+		if err != nil {
+			return nil, err
+		}
+		peaks = append(peaks, stats.Max(trace.RunningError))
+	}
+	d.threshold = stats.Quantile(peaks, cfg.PeakQuantile) * cfg.ThresholdMargin
+	if d.threshold <= 0 {
+		return nil, fmt.Errorf("soundboost: degenerate GPS threshold %g", d.threshold)
+	}
+	return d, nil
+}
+
+// Threshold returns the calibrated alarm threshold.
+func (d *GPSDetector) Threshold() float64 { return d.threshold }
+
+// Mode returns the detector's KF mode.
+func (d *GPSDetector) Mode() kalman.Mode { return d.cfg.Mode }
+
+// Detect runs GPS RCA over a flight and returns the verdict.
+func (d *GPSDetector) Detect(f *dataset.Flight) (GPSVerdict, error) {
+	trace, err := d.runFlight(f)
+	if err != nil {
+		return GPSVerdict{}, err
+	}
+	v := GPSVerdict{Threshold: d.threshold}
+	for i, e := range trace.RunningError {
+		if e > v.PeakError {
+			v.PeakError = e
+		}
+		if e > d.threshold && !v.Attacked {
+			v.Attacked = true
+			v.DetectionTime = trace.Time[i]
+		}
+	}
+	return v, nil
+}
+
+// Trace exposes the full diagnostic series (Fig. 7).
+func (d *GPSDetector) Trace(f *dataset.Flight) (*GPSTrace, error) {
+	return d.runFlight(f)
+}

@@ -1,0 +1,268 @@
+package soundboost
+
+import (
+	"fmt"
+
+	"soundboost/internal/dataset"
+	"soundboost/internal/stats"
+)
+
+// IMUDetectorConfig tunes the IMU-attack RCA stage (§III-C1).
+type IMUDetectorConfig struct {
+	// StatMargin scales the calibrated benign KS-statistic threshold
+	// (>= 1). Residuals within one window share the window's prediction
+	// error, so the detector pools residuals over a sliding period of
+	// windows and calibrates the KS statistic empirically on benign
+	// periods rather than relying on the i.i.d. p-value.
+	StatMargin float64
+	// TrimSigma removes benign-statistic outliers before taking the max.
+	TrimSigma float64
+	// PeriodWindows is how many consecutive signature windows pool into
+	// one KS detection period (window-level prediction offsets average
+	// out across a period; attack shifts persist).
+	PeriodWindows int
+	// DetectPeriods is how many consecutive periods must exceed the
+	// threshold before an alarm — suppresses isolated turbulence.
+	DetectPeriods int
+	// MinResiduals is the minimum residual count for a valid KS test.
+	MinResiduals int
+	// Stream selects the analysed IMU: 0 is the primary, k > 0 is
+	// redundant unit k-1. Vehicles with multiple IMUs run one detector per
+	// stream with separately learned thresholds (paper §V-B), so a
+	// resonant injection tuned to one sensor model is attributed to that
+	// unit alone.
+	Stream int
+}
+
+// DefaultIMUDetectorConfig returns the tuned configuration.
+func DefaultIMUDetectorConfig() IMUDetectorConfig {
+	return IMUDetectorConfig{StatMargin: 1.1, TrimSigma: 4, PeriodWindows: 8, DetectPeriods: 2, MinResiduals: 20}
+}
+
+// IMUDetector flags IMU biasing attacks by comparing audio acceleration
+// predictions against logged IMU measurements: benign residuals follow the
+// normal distribution fitted at calibration; attack residuals deviate, and
+// the per-window Kolmogorov-Smirnov statistic crosses the calibrated
+// benign ceiling.
+type IMUDetector struct {
+	cfg    IMUDetectorConfig
+	model  *AcousticModel
+	benign stats.Normal
+	// statThreshold is the alarm level on the per-period KS statistic.
+	statThreshold float64
+	// stdThreshold is the alarm level on the per-period residual standard
+	// deviation. DoS-style injections widen the residual distribution
+	// without shifting it; the KS statistic alone is weak against pure
+	// variance inflation at realistic benign jitter, so both statistics
+	// are calibrated (Fig. 6's signature is exactly sigma inflation).
+	stdThreshold float64
+}
+
+// windowResiduals computes per-IMU-sample prediction residuals for every
+// signature window of a flight; the per-window outputs preserve timing.
+type windowResiduals struct {
+	Start float64
+	Vals  []float64
+}
+
+func flightResiduals(model *AcousticModel, f *dataset.Flight) ([]windowResiduals, error) {
+	return flightResidualsStream(model, f, 0)
+}
+
+// flightResidualsStream computes residuals against the selected IMU
+// stream (0 = primary, k > 0 = redundant unit k-1).
+func flightResidualsStream(model *AcousticModel, f *dataset.Flight, stream int) ([]windowResiduals, error) {
+	ex, err := NewExtractor(f.Audio, model.cfg.Signature)
+	if err != nil {
+		return nil, err
+	}
+	accelZ := func(s dataset.TelemetrySample) (float64, bool) {
+		if stream == 0 {
+			return s.IMUAccel.Z, true
+		}
+		if stream-1 < len(s.AuxIMUAccel) {
+			return s.AuxIMUAccel[stream-1].Z, true
+		}
+		return 0, false
+	}
+	win := model.cfg.Signature.WindowSeconds
+	var out []windowResiduals
+	for _, t0 := range ex.WindowStarts(win) {
+		feat := windowFeatures(ex, f, t0, win)
+		if feat == nil {
+			continue
+		}
+		pred := model.Predict(feat)
+		tel := f.TelemetryBetween(t0, t0+win)
+		if len(tel) == 0 {
+			continue
+		}
+		// z-axis (downward) residuals only: the thrust axis is the one the
+		// acoustic channel predicts in every flight regime, and it is the
+		// axis the paper's IMU attacks tamper with (Fig. 6). Horizontal
+		// residuals shift with airspeed-dependent drag and would alias
+		// aggressive-but-benign maneuvers into attacks.
+		wr := windowResiduals{Start: t0, Vals: make([]float64, 0, len(tel))}
+		for _, s := range tel {
+			if z, ok := accelZ(s); ok {
+				wr.Vals = append(wr.Vals, pred.Z-z)
+			}
+		}
+		if len(wr.Vals) == 0 {
+			continue
+		}
+		out = append(out, wr)
+	}
+	return out, nil
+}
+
+// periodStats slides the pooling period over a flight's window residuals
+// and returns the KS statistic, residual standard deviation, and end time
+// of each period.
+func (d *IMUDetector) periodStats(rs []windowResiduals) (stat, std, endTime []float64) {
+	k := d.cfg.PeriodWindows
+	if k < 1 {
+		k = 1
+	}
+	for i := 0; i+k <= len(rs); i++ {
+		var pool []float64
+		for j := i; j < i+k; j++ {
+			pool = append(pool, rs[j].Vals...)
+		}
+		if len(pool) < d.cfg.MinResiduals {
+			continue
+		}
+		res, err := stats.KSTestNormal(pool, d.benign)
+		if err != nil {
+			continue
+		}
+		stat = append(stat, res.Statistic)
+		std = append(std, stats.StdDev(pool))
+		endTime = append(endTime, rs[i+k-1].Start+d.model.cfg.Signature.WindowSeconds)
+	}
+	return stat, std, endTime
+}
+
+// NewIMUDetector calibrates the benign residual distribution and the
+// benign per-period KS-statistic ceiling from benign flights. The benign
+// set should span the mission diversity expected at analysis time.
+func NewIMUDetector(model *AcousticModel, benignFlights []*dataset.Flight, cfg IMUDetectorConfig) (*IMUDetector, error) {
+	if cfg.StatMargin < 1 {
+		return nil, fmt.Errorf("soundboost: KS stat margin %g must be >= 1", cfg.StatMargin)
+	}
+	if cfg.DetectPeriods < 1 {
+		cfg.DetectPeriods = 1
+	}
+	var pool []float64
+	var perFlight [][]windowResiduals
+	for _, f := range benignFlights {
+		rs, err := flightResidualsStream(model, f, cfg.Stream)
+		if err != nil {
+			return nil, err
+		}
+		for _, wr := range rs {
+			pool = append(pool, wr.Vals...)
+		}
+		perFlight = append(perFlight, rs)
+	}
+	benign, err := stats.FitNormal(pool)
+	if err != nil {
+		return nil, fmt.Errorf("soundboost: fit benign residuals: %w", err)
+	}
+	d := &IMUDetector{cfg: cfg, model: model, benign: benign}
+
+	var ksStats, stds []float64
+	for _, rs := range perFlight {
+		s, sd, _ := d.periodStats(rs)
+		ksStats = append(ksStats, s...)
+		stds = append(stds, sd...)
+	}
+	if len(ksStats) == 0 {
+		return nil, fmt.Errorf("soundboost: no benign periods for KS calibration")
+	}
+	d.statThreshold = stats.Max(stats.TrimOutliers(ksStats, cfg.TrimSigma)) * cfg.StatMargin
+	d.stdThreshold = stats.Max(stats.TrimOutliers(stds, cfg.TrimSigma)) * cfg.StatMargin
+	return d, nil
+}
+
+// BenignDistribution returns the calibrated benign residual normal.
+func (d *IMUDetector) BenignDistribution() stats.Normal { return d.benign }
+
+// StatThreshold returns the calibrated per-period KS-statistic ceiling.
+func (d *IMUDetector) StatThreshold() float64 { return d.statThreshold }
+
+// StdThreshold returns the calibrated per-period residual-sigma ceiling.
+func (d *IMUDetector) StdThreshold() float64 { return d.stdThreshold }
+
+// IMUVerdict is the outcome of the IMU RCA stage on one flight.
+type IMUVerdict struct {
+	// Attacked reports whether an IMU attack was flagged.
+	Attacked bool
+	// DetectionTime is the flight time (s) of the first alarmed window
+	// (valid when Attacked).
+	DetectionTime float64
+	// WindowsTested and WindowsRejected summarise the KS sweep.
+	WindowsTested   int
+	WindowsRejected int
+	// AttackStd is the residual standard deviation over rejected windows
+	// (Fig. 6's widened distribution), 0 when benign.
+	AttackStd float64
+}
+
+// Detect runs the IMU RCA stage over a flight.
+func (d *IMUDetector) Detect(f *dataset.Flight) (IMUVerdict, error) {
+	rs, err := flightResidualsStream(d.model, f, d.cfg.Stream)
+	if err != nil {
+		return IMUVerdict{}, err
+	}
+	statSeries, stdSeries, endTimes := d.periodStats(rs)
+	var verdict IMUVerdict
+	consecutive := 0
+	verdict.WindowsTested = len(statSeries)
+	rejected := make([]bool, len(statSeries))
+	for i := range statSeries {
+		if statSeries[i] > d.statThreshold || stdSeries[i] > d.stdThreshold {
+			rejected[i] = true
+			verdict.WindowsRejected++
+			consecutive++
+			if consecutive >= d.cfg.DetectPeriods && !verdict.Attacked {
+				verdict.Attacked = true
+				verdict.DetectionTime = endTimes[i]
+			}
+		} else {
+			consecutive = 0
+		}
+	}
+	if verdict.Attacked {
+		// Residual spread over the rejected span (Fig. 6's widened sigma).
+		var rejectedVals []float64
+		k := d.cfg.PeriodWindows
+		for i, r := range rejected {
+			if r && i+k <= len(rs) {
+				for j := i; j < i+k; j++ {
+					rejectedVals = append(rejectedVals, rs[j].Vals...)
+				}
+			}
+		}
+		if len(rejectedVals) > 1 {
+			verdict.AttackStd = stats.StdDev(rejectedVals)
+		}
+	}
+	return verdict, nil
+}
+
+// ResidualHistogram builds the Fig. 6 residual histogram (z-axis residuals
+// pooled over the whole flight).
+func (d *IMUDetector) ResidualHistogram(f *dataset.Flight, lo, hi float64, bins int) (*stats.Histogram, error) {
+	rs, err := flightResiduals(d.model, f)
+	if err != nil {
+		return nil, err
+	}
+	h := stats.NewHistogram(lo, hi, bins)
+	for _, wr := range rs {
+		for _, v := range wr.Vals {
+			h.Add(v)
+		}
+	}
+	return h, nil
+}

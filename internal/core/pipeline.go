@@ -1,0 +1,129 @@
+package soundboost
+
+import (
+	"fmt"
+	"strings"
+
+	"soundboost/internal/dataset"
+	"soundboost/internal/kalman"
+)
+
+// RootCause is the outcome category of a full RCA run.
+type RootCause string
+
+const (
+	// CauseNone: no sensor compromise found; the failure (if any) was not
+	// attack-induced.
+	CauseNone RootCause = "none"
+	// CauseIMU: the IMU was compromised.
+	CauseIMU RootCause = "imu"
+	// CauseGPS: the GPS was compromised.
+	CauseGPS RootCause = "gps"
+	// CauseIMUAndGPS: both sensors were flagged.
+	CauseIMUAndGPS RootCause = "imu+gps"
+)
+
+// Report is the result of SoundBoost's two-stage post-incident RCA.
+type Report struct {
+	// Flight names the analysed flight.
+	Flight string
+	// Cause is the attributed root cause.
+	Cause RootCause
+	// IMU is the stage-1 verdict.
+	IMU IMUVerdict
+	// GPS is the stage-2 verdict.
+	GPS GPSVerdict
+	// GPSMode records which KF variant stage 2 used (audio-only when the
+	// IMU was flagged, audio+IMU otherwise).
+	GPSMode kalman.Mode
+}
+
+// String renders a human-readable RCA summary.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "RCA report for flight %q\n", r.Flight)
+	fmt.Fprintf(&b, "  root cause: %s\n", r.Cause)
+	if r.IMU.Attacked {
+		fmt.Fprintf(&b, "  IMU: ATTACKED (detected at t=%.1fs, %d/%d windows rejected, attack residual std %.2f)\n",
+			r.IMU.DetectionTime, r.IMU.WindowsRejected, r.IMU.WindowsTested, r.IMU.AttackStd)
+	} else {
+		fmt.Fprintf(&b, "  IMU: intact (%d/%d windows rejected)\n", r.IMU.WindowsRejected, r.IMU.WindowsTested)
+	}
+	if r.GPS.Attacked {
+		fmt.Fprintf(&b, "  GPS: SPOOFED (detected at t=%.1fs via %s KF, peak error %.2f > threshold %.2f)\n",
+			r.GPS.DetectionTime, r.GPSMode, r.GPS.PeakError, r.GPS.Threshold)
+	} else {
+		fmt.Fprintf(&b, "  GPS: clean (peak error %.2f <= threshold %.2f via %s KF)\n",
+			r.GPS.PeakError, r.GPS.Threshold, r.GPSMode)
+	}
+	return b.String()
+}
+
+// Analyzer bundles the trained model with calibrated detectors and runs
+// the full RCA pipeline: first decide whether the IMU can be trusted, then
+// run GPS detection with the strongest admissible KF variant.
+type Analyzer struct {
+	// Model is the trained acoustic model.
+	Model *AcousticModel
+	// IMU is the stage-1 detector.
+	IMU *IMUDetector
+	// GPSAudioOnly is used when the IMU is flagged compromised.
+	GPSAudioOnly *GPSDetector
+	// GPSAudioIMU is used when the IMU is trusted.
+	GPSAudioIMU *GPSDetector
+}
+
+// NewAnalyzer calibrates all detectors from benign flights.
+func NewAnalyzer(model *AcousticModel, benignFlights []*dataset.Flight) (*Analyzer, error) {
+	if model == nil {
+		return nil, fmt.Errorf("soundboost: nil model")
+	}
+	imu, err := NewIMUDetector(model, benignFlights, DefaultIMUDetectorConfig())
+	if err != nil {
+		return nil, fmt.Errorf("soundboost: IMU detector: %w", err)
+	}
+	audioOnly, err := NewGPSDetector(model, benignFlights, DefaultGPSDetectorConfig(kalman.ModeAudioOnly))
+	if err != nil {
+		return nil, fmt.Errorf("soundboost: audio-only GPS detector: %w", err)
+	}
+	audioIMU, err := NewGPSDetector(model, benignFlights, DefaultGPSDetectorConfig(kalman.ModeAudioIMU))
+	if err != nil {
+		return nil, fmt.Errorf("soundboost: audio+IMU GPS detector: %w", err)
+	}
+	return &Analyzer{Model: model, IMU: imu, GPSAudioOnly: audioOnly, GPSAudioIMU: audioIMU}, nil
+}
+
+// Analyze runs the full two-stage RCA over a flight.
+func (a *Analyzer) Analyze(f *dataset.Flight) (Report, error) {
+	report := Report{Flight: f.Name}
+
+	imuVerdict, err := a.IMU.Detect(f)
+	if err != nil {
+		return report, fmt.Errorf("soundboost: IMU stage: %w", err)
+	}
+	report.IMU = imuVerdict
+
+	// Stage 2: pick the KF variant by stage-1 outcome (paper §III-C2).
+	gps := a.GPSAudioIMU
+	if imuVerdict.Attacked {
+		gps = a.GPSAudioOnly
+	}
+	report.GPSMode = gps.Mode()
+	gpsVerdict, err := gps.Detect(f)
+	if err != nil {
+		return report, fmt.Errorf("soundboost: GPS stage: %w", err)
+	}
+	report.GPS = gpsVerdict
+
+	switch {
+	case imuVerdict.Attacked && gpsVerdict.Attacked:
+		report.Cause = CauseIMUAndGPS
+	case imuVerdict.Attacked:
+		report.Cause = CauseIMU
+	case gpsVerdict.Attacked:
+		report.Cause = CauseGPS
+	default:
+		report.Cause = CauseNone
+	}
+	return report, nil
+}

@@ -1,0 +1,218 @@
+// Package soundboost implements the paper's primary contribution: the
+// SoundBoost post-incident RCA framework. It turns microphone-array
+// recordings into acoustic signatures (§III-A), learns the signature →
+// acceleration mapping (§III-B), and runs the two-stage root cause
+// analysis — IMU attack detection by Kolmogorov-Smirnov testing of
+// prediction residuals (§III-C1) and GPS spoofing detection by Kalman
+// velocity fusion with a running-mean error monitor (§III-C2).
+package soundboost
+
+import (
+	"fmt"
+	"math"
+
+	"soundboost/internal/acoustics"
+	"soundboost/internal/dsp"
+)
+
+// SignatureConfig controls acoustic signature generation (paper §III-A).
+type SignatureConfig struct {
+	// WindowSeconds is the signature window (the paper's tuned value:
+	// 0.5 s; swept in §IV-A).
+	WindowSeconds float64
+	// HopSeconds is the stride between consecutive windows.
+	HopSeconds float64
+	// SubFrames splits each window temporally so the signature captures
+	// actuation dynamics, not just average loudness.
+	SubFrames int
+	// LowPassHz removes everything above the aerodynamic group (6 kHz in
+	// the paper) — including any ultrasonic IMU-injection energy.
+	LowPassHz float64
+	// Bands are the analysis bands (blade-passing / mechanical /
+	// aerodynamic split).
+	Bands []dsp.Band
+	// AttitudeFeatures appends the window-mean roll and pitch (from the
+	// autopilot's attitude estimate, trusted per the threat model and
+	// already required for the NED transform) to each signature. Tilt
+	// determines steady-state aerodynamic drag, the one body-frame force
+	// component rotor sound alone cannot resolve.
+	AttitudeFeatures bool
+}
+
+// DefaultSignatureConfig derives the analysis layout from the synthesiser
+// configuration so reduced-rate test setups get coherent bands.
+func DefaultSignatureConfig(synth acoustics.SynthConfig) SignatureConfig {
+	bladeCenter := float64(synth.Blades) * synth.HoverSpeed / (2 * math.Pi)
+	lp := synth.AeroFreq * 1.12
+	nyquist := synth.SampleRate / 2
+	if lp >= nyquist {
+		lp = nyquist * 0.95
+	}
+	return SignatureConfig{
+		WindowSeconds:    0.5,
+		HopSeconds:       0.25,
+		SubFrames:        4,
+		AttitudeFeatures: true,
+		LowPassHz:        lp,
+		Bands: []dsp.Band{
+			{Name: "blade", Low: bladeCenter * 0.5, High: bladeCenter * 2.2},
+			{Name: "mech", Low: synth.MechFreq * 0.72, High: synth.MechFreq * 1.28},
+			{Name: "aero-lo", Low: synth.AeroFreq * 0.82, High: synth.AeroFreq},
+			{Name: "aero-hi", Low: synth.AeroFreq, High: synth.AeroFreq * 1.12},
+		},
+	}
+}
+
+// Validate reports configuration errors.
+func (c SignatureConfig) Validate() error {
+	switch {
+	case c.WindowSeconds <= 0:
+		return fmt.Errorf("soundboost: window %g s must be positive", c.WindowSeconds)
+	case c.HopSeconds <= 0:
+		return fmt.Errorf("soundboost: hop %g s must be positive", c.HopSeconds)
+	case c.SubFrames < 1:
+		return fmt.Errorf("soundboost: sub-frames %d must be >= 1", c.SubFrames)
+	case len(c.Bands) == 0:
+		return fmt.Errorf("soundboost: no analysis bands")
+	default:
+		return nil
+	}
+}
+
+// FeatureDim returns the signature vector length: per mic, per sub-frame,
+// every band energy plus a broadband RMS term, plus the attitude features
+// when enabled.
+func (c SignatureConfig) FeatureDim() int {
+	n := acoustics.NumMics * c.SubFrames * (len(c.Bands) + 1)
+	if c.AttitudeFeatures {
+		n += 2
+	}
+	return n
+}
+
+// AcousticDim returns the acoustic-only part of the feature vector.
+func (c SignatureConfig) AcousticDim() int {
+	return acoustics.NumMics * c.SubFrames * (len(c.Bands) + 1)
+}
+
+// BandFeatureIndices returns the feature-vector indices occupied by the
+// named band across all mics and sub-frames — used by the counterfactual
+// frequency-importance analysis (§IV-A).
+func (c SignatureConfig) BandFeatureIndices(name string) []int {
+	perFrame := len(c.Bands) + 1
+	var out []int
+	for b, band := range c.Bands {
+		if band.Name != name {
+			continue
+		}
+		for m := 0; m < acoustics.NumMics; m++ {
+			for s := 0; s < c.SubFrames; s++ {
+				out = append(out, (m*c.SubFrames+s)*perFrame+b)
+			}
+		}
+	}
+	return out
+}
+
+// Extractor computes acoustic signatures from one recording. It low-pass
+// filters each channel once at construction, then serves windows.
+type Extractor struct {
+	cfg      SignatureConfig
+	rate     float64
+	filtered [acoustics.NumMics][]float64
+}
+
+// NewExtractor prepares signature extraction for a recording.
+func NewExtractor(rec *acoustics.Recording, cfg SignatureConfig) (*Extractor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rec == nil || rec.Samples() == 0 {
+		return nil, fmt.Errorf("soundboost: empty recording")
+	}
+	e := &Extractor{cfg: cfg, rate: rec.SampleRate}
+	for m := range rec.Channels {
+		ch := rec.Channels[m]
+		if cfg.LowPassHz > 0 && cfg.LowPassHz < rec.SampleRate/2 {
+			lp, err := dsp.NewLowPass(cfg.LowPassHz, rec.SampleRate)
+			if err != nil {
+				return nil, fmt.Errorf("soundboost: low-pass: %w", err)
+			}
+			e.filtered[m] = lp.ProcessAll(ch)
+		} else {
+			e.filtered[m] = append([]float64(nil), ch...)
+		}
+	}
+	return e, nil
+}
+
+// Config returns the extractor's signature configuration.
+func (e *Extractor) Config() SignatureConfig { return e.cfg }
+
+// Duration returns the usable recording length in seconds.
+func (e *Extractor) Duration() float64 {
+	return float64(len(e.filtered[0])) / e.rate
+}
+
+// Features computes the signature for the window starting at t0 (seconds)
+// spanning windowSeconds. Passing a window larger than cfg.WindowSeconds
+// with the same sub-frame count implements the paper's time-shift
+// augmentation (a stretched window simulates headwind-lengthened
+// actuation). Returns nil when the window falls outside the recording.
+func (e *Extractor) Features(t0, windowSeconds float64) []float64 {
+	start := int(t0 * e.rate)
+	total := int(windowSeconds * e.rate)
+	if start < 0 || total <= 0 || start+total > len(e.filtered[0]) {
+		return nil
+	}
+	sub := total / e.cfg.SubFrames
+	if sub < 8 {
+		return nil
+	}
+	nfft := dsp.NextPow2(sub)
+	perFrame := len(e.cfg.Bands) + 1
+	// Acoustic part only; attitude features (when configured) are appended
+	// by the window builders, which have telemetry access.
+	out := make([]float64, e.cfg.AcousticDim())
+	buf := make([]complex128, nfft)
+	win := dsp.Hann(sub)
+	for m := 0; m < acoustics.NumMics; m++ {
+		ch := e.filtered[m]
+		for s := 0; s < e.cfg.SubFrames; s++ {
+			off := start + s*sub
+			for i := range buf {
+				buf[i] = 0
+			}
+			for i := 0; i < sub; i++ {
+				buf[i] = complex(ch[off+i]*win[i], 0)
+			}
+			mags := dsp.Magnitudes(dsp.FFT(buf)[:nfft/2+1])
+			base := (m*e.cfg.SubFrames + s) * perFrame
+			var rms float64
+			for i := 0; i < sub; i++ {
+				v := ch[off+i]
+				rms += v * v
+			}
+			rms = math.Sqrt(rms / float64(sub))
+			for b, band := range e.cfg.Bands {
+				// Normalise band energy by sqrt(nfft) so augmented
+				// (longer) windows remain comparable to the base window.
+				energy := dsp.BandEnergy(mags, nfft, e.rate, band) / math.Sqrt(float64(nfft))
+				out[base+b] = math.Log1p(energy)
+			}
+			out[base+len(e.cfg.Bands)] = math.Log1p(rms)
+		}
+	}
+	return out
+}
+
+// WindowStarts enumerates the start times of all complete signature
+// windows of the given size with the configured hop.
+func (e *Extractor) WindowStarts(windowSeconds float64) []float64 {
+	var out []float64
+	dur := e.Duration()
+	for t := 0.0; t+windowSeconds <= dur; t += e.cfg.HopSeconds {
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package dataset
+
+import (
+	"fmt"
+
+	"soundboost/internal/mavbus"
+)
+
+// Bus topics used by the telemetry recorder, mirroring MAVLink stream
+// names.
+const (
+	TopicTelemetry = "telemetry"
+	TopicScenario  = "scenario"
+)
+
+// PublishFlight streams a flight's telemetry over the bus the way the
+// companion computer receives it from the autopilot: one message per
+// telemetry row, plus a scenario-metadata message.
+func PublishFlight(bus *mavbus.Bus, f *Flight) error {
+	if err := bus.Publish(mavbus.Message{Topic: TopicScenario, Time: 0, Payload: f.Scenario}); err != nil {
+		return fmt.Errorf("dataset: publish scenario: %w", err)
+	}
+	for _, s := range f.Telemetry {
+		if err := bus.Publish(mavbus.Message{Topic: TopicTelemetry, Time: s.Time, Payload: s}); err != nil {
+			return fmt.Errorf("dataset: publish telemetry: %w", err)
+		}
+	}
+	return nil
+}
+
+// Recorder assembles telemetry received over the bus back into rows —
+// the subscriber side of the companion-computer dataflow.
+type Recorder struct {
+	sub *mavbus.Subscription
+}
+
+// NewRecorder subscribes to the telemetry topic with a buffer large enough
+// for bufferRows in-flight messages.
+func NewRecorder(bus *mavbus.Bus, bufferRows int) (*Recorder, error) {
+	sub, err := bus.Subscribe(TopicTelemetry, bufferRows)
+	if err != nil {
+		return nil, err
+	}
+	return &Recorder{sub: sub}, nil
+}
+
+// Drain collects every telemetry row currently queued, in order. It does
+// not block waiting for more.
+func (r *Recorder) Drain() []TelemetrySample {
+	var out []TelemetrySample
+	for {
+		select {
+		case m, ok := <-r.sub.C:
+			if !ok {
+				return out
+			}
+			if s, ok := m.Payload.(TelemetrySample); ok {
+				out = append(out, s)
+			}
+		default:
+			return out
+		}
+	}
+}
+
+// Close cancels the subscription.
+func (r *Recorder) Close() { r.sub.Cancel() }
+
+// ReplayTelemetry reads the bus's retained telemetry history (post hoc —
+// exactly how SoundBoost's RCA consumes a flight after a mission failure).
+func ReplayTelemetry(bus *mavbus.Bus) []TelemetrySample {
+	msgs := bus.Replay(TopicTelemetry)
+	out := make([]TelemetrySample, 0, len(msgs))
+	for _, m := range msgs {
+		if s, ok := m.Payload.(TelemetrySample); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}

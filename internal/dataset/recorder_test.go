@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"soundboost/internal/mavbus"
+	"soundboost/internal/sim"
+)
+
+func TestPublishAndRecordFlight(t *testing.T) {
+	f, err := Generate(quickGenConfig(sim.HoverMission{Seconds: 2}, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := mavbus.NewBus(len(f.Telemetry) + 8)
+	defer bus.Close()
+	rec, err := NewRecorder(bus, len(f.Telemetry)+8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if err := PublishFlight(bus, f); err != nil {
+		t.Fatal(err)
+	}
+	got := rec.Drain()
+	if len(got) != len(f.Telemetry) {
+		t.Fatalf("recorded %d rows, want %d", len(got), len(f.Telemetry))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], f.Telemetry[i]) {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+	// Post hoc replay path (how RCA reads a completed mission).
+	replayed := ReplayTelemetry(bus)
+	if len(replayed) != len(f.Telemetry) {
+		t.Fatalf("replayed %d rows, want %d", len(replayed), len(f.Telemetry))
+	}
+	// Scenario metadata also travels the bus.
+	scen := bus.Replay(TopicScenario)
+	if len(scen) != 1 {
+		t.Fatalf("scenario messages %d, want 1", len(scen))
+	}
+	if meta, ok := scen[0].Payload.(ScenarioMeta); !ok || meta.Kind != "benign" {
+		t.Errorf("scenario payload %+v", scen[0].Payload)
+	}
+}
+
+func TestPublishFlightClosedBus(t *testing.T) {
+	f := &Flight{Telemetry: []TelemetrySample{{Time: 1}}}
+	bus := mavbus.NewBus(4)
+	bus.Close()
+	if err := PublishFlight(bus, f); err == nil {
+		t.Error("publish on closed bus accepted")
+	}
+}
+
+func TestWriteTelemetryCSV(t *testing.T) {
+	f, err := Generate(quickGenConfig(sim.HoverMission{Seconds: 1}, 43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.WriteTelemetryCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(f.Telemetry)+1 {
+		t.Fatalf("%d csv lines, want %d", len(lines), len(f.Telemetry)+1)
+	}
+	if !strings.HasPrefix(lines[0], "time,imu_ax") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if cols := strings.Count(lines[1], ",") + 1; cols != 23 {
+		t.Errorf("row has %d columns, want 23", cols)
+	}
+}
+
+func TestWriteSeriesCSVRagged(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteSeriesCSV(&buf, []string{"a", "b"}, [][]float64{{1, 2}, {3}})
+	if err == nil {
+		t.Error("ragged rows accepted")
+	}
+}

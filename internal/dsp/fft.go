@@ -1,0 +1,212 @@
+// Package dsp implements the signal-processing substrate SoundBoost needs:
+// a radix-2 FFT with Bluestein fallback for arbitrary lengths, analysis
+// windows, short-time Fourier transforms, frequency-band energy extraction
+// (the paper's blade-passing / mechanical / aerodynamic groups), biquad
+// filters, and the Goertzel single-bin DFT.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the discrete Fourier transform of x and returns a new slice.
+// Power-of-two lengths use an in-place iterative radix-2 Cooley-Tukey;
+// other lengths fall back to Bluestein's chirp-z algorithm. Length 0 returns
+// an empty slice.
+func FFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, false)
+	return out
+}
+
+// IFFT computes the inverse DFT of x (including the 1/N normalization).
+func IFFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, true)
+	return out
+}
+
+// FFTReal computes the DFT of a real-valued signal.
+func FFTReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	fftInPlace(c, false)
+	return c
+}
+
+func fftInPlace(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if n&(n-1) == 0 {
+		radix2(x, inverse)
+	} else {
+		bluestein(x, inverse)
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+}
+
+// radix2 is an iterative in-place Cooley-Tukey FFT for power-of-two n.
+// When inverse is true the twiddle sign is flipped; normalization is the
+// caller's responsibility.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	// Bit-reversal permutation.
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// bluestein implements the chirp-z transform reduction of an arbitrary-length
+// DFT to a power-of-two convolution.
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	// Chirp w[k] = exp(sign*i*pi*k^2/n).
+	w := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k*k can overflow for huge n; mod 2n keeps the phase identical.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		w[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(kk)/float64(n)))
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * w[k]
+		b[k] = cmplx.Conj(w[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(w[k])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	scale := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * scale * w[k]
+	}
+}
+
+// Magnitudes returns |X[k]| for each bin.
+func Magnitudes(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, c := range x {
+		out[i] = cmplx.Abs(c)
+	}
+	return out
+}
+
+// PowerSpectrum returns |X[k]|^2 for each bin.
+func PowerSpectrum(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, c := range x {
+		re, im := real(c), imag(c)
+		out[i] = re*re + im*im
+	}
+	return out
+}
+
+// BinFrequency returns the center frequency in Hz of FFT bin k for a
+// transform of length n over samples taken at sampleRate Hz.
+func BinFrequency(k, n int, sampleRate float64) float64 {
+	return float64(k) * sampleRate / float64(n)
+}
+
+// FrequencyBin returns the FFT bin index whose center frequency is closest
+// to freq, clamped to the valid half-spectrum range [0, n/2].
+func FrequencyBin(freq float64, n int, sampleRate float64) int {
+	k := int(math.Round(freq * float64(n) / sampleRate))
+	if k < 0 {
+		k = 0
+	}
+	if k > n/2 {
+		k = n / 2
+	}
+	return k
+}
+
+// NextPow2 returns the smallest power of two >= n (and >= 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << uint(bits.Len(uint(n-1)))
+}
+
+// Goertzel evaluates the DFT magnitude of x at a single target frequency
+// using the Goertzel recurrence. It is cheaper than a full FFT when only a
+// handful of bins are needed (e.g. tracking the blade-passing line).
+func Goertzel(x []float64, targetFreq, sampleRate float64) float64 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	k := targetFreq * float64(n) / sampleRate
+	omega := 2 * math.Pi * k / float64(n)
+	coeff := 2 * math.Cos(omega)
+	var s0, s1, s2 float64
+	for _, v := range x {
+		s0 = v + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	power := s1*s1 + s2*s2 - coeff*s1*s2
+	if power < 0 {
+		power = 0
+	}
+	return math.Sqrt(power)
+}
+
+// Validate reports an error when a transform length would be pathological.
+func Validate(n int) error {
+	if n < 0 {
+		return fmt.Errorf("dsp: negative transform length %d", n)
+	}
+	return nil
+}

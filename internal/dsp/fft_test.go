@@ -1,0 +1,234 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(n^2) reference implementation for correctness checks.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			s += x[t] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func complexSliceApproxEq(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 31, 32, 100, 128, 257} {
+		x := randComplex(rng, n)
+		got := FFT(x)
+		want := naiveDFT(x)
+		if !complexSliceApproxEq(got, want, 1e-7*float64(n)) {
+			t.Errorf("n=%d: FFT disagrees with naive DFT", n)
+		}
+	}
+}
+
+func TestFFTEmpty(t *testing.T) {
+	if got := FFT(nil); len(got) != 0 {
+		t.Errorf("FFT(nil) = %v, want empty", got)
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 2, 8, 15, 64, 100, 1024} {
+		x := randComplex(rng, n)
+		got := IFFT(FFT(x))
+		if !complexSliceApproxEq(got, x, 1e-8*float64(n)) {
+			t.Errorf("n=%d: IFFT(FFT(x)) != x", n)
+		}
+	}
+}
+
+// Property: Parseval's theorem — sum |x|^2 == (1/N) sum |X|^2.
+func TestFFTParseval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 16 << (uint(rng.Intn(4)))
+		x := randComplex(rng, n)
+		spec := FFT(x)
+		var timeE, freqE float64
+		for i := range x {
+			timeE += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+			freqE += real(spec[i])*real(spec[i]) + imag(spec[i])*imag(spec[i])
+		}
+		freqE /= float64(n)
+		return math.Abs(timeE-freqE) < 1e-6*(1+timeE)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FFT is linear.
+func TestFFTLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		n := 64
+		a := randComplex(rng, n)
+		b := randComplex(rng, n)
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = 2*a[i] + 3*b[i]
+		}
+		fa, fb, fsum := FFT(a), FFT(b), FFT(sum)
+		for i := range fsum {
+			want := 2*fa[i] + 3*fb[i]
+			if cmplx.Abs(fsum[i]-want) > 1e-8 {
+				t.Fatalf("linearity violated at bin %d", i)
+			}
+		}
+	}
+}
+
+func TestFFTRealSineLocatesPeak(t *testing.T) {
+	const (
+		sampleRate = 8000.0
+		freq       = 440.0
+		n          = 4096
+	)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * freq * float64(i) / sampleRate)
+	}
+	mags := Magnitudes(FFTReal(x))
+	peak := 0
+	for k := 1; k < n/2; k++ {
+		if mags[k] > mags[peak] {
+			peak = k
+		}
+	}
+	got := BinFrequency(peak, n, sampleRate)
+	if math.Abs(got-freq) > sampleRate/float64(n)+1 {
+		t.Errorf("peak at %g Hz, want ~%g Hz", got, freq)
+	}
+}
+
+func TestFrequencyBinClamping(t *testing.T) {
+	tests := []struct {
+		freq float64
+		want int
+	}{
+		{-100, 0},
+		{0, 0},
+		{1000, 512},              // 1000 * 8192 / 16000 = 512
+		{8000, 4096},             // Nyquist
+		{20000, 4096},            // beyond Nyquist clamps
+	}
+	for _, tt := range tests {
+		if got := FrequencyBin(tt.freq, 8192, 16000); got != tt.want {
+			t.Errorf("FrequencyBin(%g) = %d, want %d", tt.freq, got, tt.want)
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	tests := []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024}, {1024, 1024},
+	}
+	for _, tt := range tests {
+		if got := NextPow2(tt.in); got != tt.want {
+			t.Errorf("NextPow2(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestGoertzelMatchesFFTBin(t *testing.T) {
+	const (
+		sampleRate = 8000.0
+		n          = 1024
+	)
+	rng := rand.New(rand.NewSource(9))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2*math.Pi*200*float64(i)/sampleRate) + 0.1*rng.NormFloat64()
+	}
+	// Bin 25.6 -> use an exact bin frequency for the comparison.
+	k := 26
+	freq := BinFrequency(k, n, sampleRate)
+	want := Magnitudes(FFTReal(x))[k]
+	got := Goertzel(x, freq, sampleRate)
+	if math.Abs(got-want) > 1e-6*(1+want) {
+		t.Errorf("Goertzel = %v, FFT bin = %v", got, want)
+	}
+}
+
+func TestGoertzelEmpty(t *testing.T) {
+	if got := Goertzel(nil, 100, 8000); got != 0 {
+		t.Errorf("Goertzel(nil) = %v, want 0", got)
+	}
+}
+
+func TestPowerSpectrum(t *testing.T) {
+	x := []complex128{complex(3, 4), complex(0, 0), complex(1, 0)}
+	got := PowerSpectrum(x)
+	want := []float64{25, 0, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("PowerSpectrum[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(-1); err == nil {
+		t.Error("Validate(-1) = nil, want error")
+	}
+	if err := Validate(16); err != nil {
+		t.Errorf("Validate(16) = %v, want nil", err)
+	}
+}
+
+func BenchmarkFFT4096(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randComplex(rng, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkGoertzel4096(b *testing.B) {
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = math.Sin(float64(i) * 0.1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Goertzel(x, 200, 8000)
+	}
+}

@@ -1,0 +1,136 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Biquad is a second-order IIR filter section in direct form II transposed.
+// SoundBoost uses a low-pass biquad to discard everything above the
+// aerodynamic frequency group (6 kHz in the paper), which also removes any
+// ultrasonic IMU-injection energy by construction.
+type Biquad struct {
+	b0, b1, b2 float64
+	a1, a2     float64
+	z1, z2     float64
+}
+
+// NewLowPass designs a Butterworth-style low-pass biquad with the given
+// cutoff (Hz) at sampleRate (Hz). Cutoff must lie in (0, sampleRate/2).
+func NewLowPass(cutoff, sampleRate float64) (*Biquad, error) {
+	if cutoff <= 0 || cutoff >= sampleRate/2 {
+		return nil, fmt.Errorf("dsp: low-pass cutoff %g Hz out of range (0, %g)", cutoff, sampleRate/2)
+	}
+	w0 := 2 * math.Pi * cutoff / sampleRate
+	q := math.Sqrt2 / 2
+	alpha := math.Sin(w0) / (2 * q)
+	cosw := math.Cos(w0)
+	a0 := 1 + alpha
+	return &Biquad{
+		b0: (1 - cosw) / 2 / a0,
+		b1: (1 - cosw) / a0,
+		b2: (1 - cosw) / 2 / a0,
+		a1: -2 * cosw / a0,
+		a2: (1 - alpha) / a0,
+	}, nil
+}
+
+// NewHighPass designs a Butterworth-style high-pass biquad.
+func NewHighPass(cutoff, sampleRate float64) (*Biquad, error) {
+	if cutoff <= 0 || cutoff >= sampleRate/2 {
+		return nil, fmt.Errorf("dsp: high-pass cutoff %g Hz out of range (0, %g)", cutoff, sampleRate/2)
+	}
+	w0 := 2 * math.Pi * cutoff / sampleRate
+	q := math.Sqrt2 / 2
+	alpha := math.Sin(w0) / (2 * q)
+	cosw := math.Cos(w0)
+	a0 := 1 + alpha
+	return &Biquad{
+		b0: (1 + cosw) / 2 / a0,
+		b1: -(1 + cosw) / a0,
+		b2: (1 + cosw) / 2 / a0,
+		a1: -2 * cosw / a0,
+		a2: (1 - alpha) / a0,
+	}, nil
+}
+
+// NewBandPass designs a constant-peak band-pass biquad centered at center Hz
+// with the given quality factor q.
+func NewBandPass(center, q, sampleRate float64) (*Biquad, error) {
+	if center <= 0 || center >= sampleRate/2 {
+		return nil, fmt.Errorf("dsp: band-pass center %g Hz out of range (0, %g)", center, sampleRate/2)
+	}
+	if q <= 0 {
+		return nil, fmt.Errorf("dsp: band-pass q %g must be positive", q)
+	}
+	w0 := 2 * math.Pi * center / sampleRate
+	alpha := math.Sin(w0) / (2 * q)
+	cosw := math.Cos(w0)
+	a0 := 1 + alpha
+	return &Biquad{
+		b0: alpha / a0,
+		b1: 0,
+		b2: -alpha / a0,
+		a1: -2 * cosw / a0,
+		a2: (1 - alpha) / a0,
+	}, nil
+}
+
+// Process filters one sample, advancing internal state.
+func (f *Biquad) Process(x float64) float64 {
+	y := f.b0*x + f.z1
+	f.z1 = f.b1*x - f.a1*y + f.z2
+	f.z2 = f.b2*x - f.a2*y
+	return y
+}
+
+// ProcessAll filters a whole signal into a new slice.
+func (f *Biquad) ProcessAll(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = f.Process(v)
+	}
+	return out
+}
+
+// Reset clears the filter state.
+func (f *Biquad) Reset() { f.z1, f.z2 = 0, 0 }
+
+// FilterChain applies filters in sequence.
+type FilterChain []*Biquad
+
+// Process runs one sample through every stage.
+func (c FilterChain) Process(x float64) float64 {
+	for _, f := range c {
+		x = f.Process(x)
+	}
+	return x
+}
+
+// ProcessAll filters a whole signal through every stage into a new slice.
+func (c FilterChain) ProcessAll(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = c.Process(v)
+	}
+	return out
+}
+
+// Reset clears all stages.
+func (c FilterChain) Reset() {
+	for _, f := range c {
+		f.Reset()
+	}
+}
+
+// RMS returns the root-mean-square amplitude of x (0 for empty input).
+func RMS(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range x {
+		sum += v * v
+	}
+	return math.Sqrt(sum / float64(len(x)))
+}

@@ -1,0 +1,72 @@
+package dsp
+
+import "math"
+
+// WindowFunc generates an analysis window of length n. Implementations
+// return a fresh slice each call.
+type WindowFunc func(n int) []float64
+
+// Hann returns the Hann (raised-cosine) window of length n. For n <= 1 a
+// rectangular window of the requested length is returned.
+func Hann(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+	return w
+}
+
+// Hamming returns the Hamming window of length n.
+func Hamming(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return w
+}
+
+// Rectangular returns the all-ones window of length n.
+func Rectangular(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// Blackman returns the Blackman window of length n, useful when stronger
+// sidelobe suppression is needed to separate nearby rotor harmonics.
+func Blackman(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		x := 2 * math.Pi * float64(i) / float64(n-1)
+		w[i] = 0.42 - 0.5*math.Cos(x) + 0.08*math.Cos(2*x)
+	}
+	return w
+}
+
+// ApplyWindow multiplies x element-wise by window w into a new slice.
+// The shorter length wins, so mismatched lengths truncate rather than panic.
+func ApplyWindow(x, w []float64) []float64 {
+	n := len(x)
+	if len(w) < n {
+		n = len(w)
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = x[i] * w[i]
+	}
+	return out
+}

@@ -1,0 +1,446 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	soundboost "soundboost/internal/core"
+	"soundboost/internal/dataset"
+	"soundboost/internal/dsp"
+	"soundboost/internal/mathx"
+	"soundboost/internal/sim"
+	"soundboost/internal/stats"
+)
+
+// Fig2Result holds the Fig. 2 data: (a) the mean spectrum of a hover
+// recording, and (b-d) per-window aerodynamic band amplitude paired with
+// measured acceleration for hover / decelerate / accelerate segments.
+type Fig2Result struct {
+	// SpectrumFreqs / SpectrumMags sample the mean magnitude spectrum.
+	SpectrumFreqs []float64
+	SpectrumMags  []float64
+	// GroupPeaks reports the mean magnitude of each named group.
+	GroupPeaks map[string]float64
+	// Series holds amplitude-vs-acceleration time series per maneuver.
+	Series map[string]Fig2Series
+}
+
+// Fig2Series is one maneuver's paired series.
+type Fig2Series struct {
+	Time    []float64
+	BandAmp []float64
+	AccelZ  []float64
+	// Correlation is the Pearson correlation between band amplitude and
+	// thrust (-AccelZ includes gravity; thrust proxy is -AccelZ).
+	Correlation float64
+}
+
+// String renders a compact summary.
+func (r Fig2Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 2a: mean spectrum group magnitudes\n")
+	for _, name := range []string{"blade", "mech", "aero", "gap"} {
+		if v, ok := r.GroupPeaks[name]; ok {
+			fmt.Fprintf(&b, "  %-6s %.3f\n", name, v)
+		}
+	}
+	b.WriteString("Fig 2b-d: aero band amplitude vs thrust correlation\n")
+	for name, s := range r.Series {
+		fmt.Fprintf(&b, "  %-12s corr %.2f over %d windows\n", name, s.Correlation, len(s.Time))
+	}
+	return b.String()
+}
+
+// RunFig2 regenerates the Fig. 2 data from scripted maneuvers.
+func RunFig2(scale Scale) (Fig2Result, error) {
+	result := Fig2Result{GroupPeaks: map[string]float64{}, Series: map[string]Fig2Series{}}
+
+	// (a) Hover spectrum.
+	hover := sim.HoverMission{Point: mathx.Vec3{Z: -10}, Seconds: 10}
+	cfg := scale.genConfig(hover, scale.Seed+4100, sim.CalmWind())
+	f, err := dataset.Generate(cfg)
+	if err != nil {
+		return result, err
+	}
+	spec, err := dsp.STFT(f.Audio.Channels[0], scale.AudioRate, dsp.STFTConfig{
+		WindowSize: dsp.NextPow2(int(scale.AudioRate / 4)), HopSize: dsp.NextPow2(int(scale.AudioRate / 8)),
+	})
+	if err != nil {
+		return result, err
+	}
+	mean := spec.MeanSpectrum()
+	// Downsample the spectrum for reporting.
+	stride := len(mean) / 256
+	if stride < 1 {
+		stride = 1
+	}
+	for k := 0; k < len(mean); k += stride {
+		result.SpectrumFreqs = append(result.SpectrumFreqs, dsp.BinFrequency(k, spec.NFFT, scale.AudioRate))
+		result.SpectrumMags = append(result.SpectrumMags, mean[k])
+	}
+	groupMean := func(lo, hi float64) float64 {
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		a := dsp.FrequencyBin(lo, spec.NFFT, scale.AudioRate)
+		b := dsp.FrequencyBin(hi, spec.NFFT, scale.AudioRate)
+		if b >= len(mean) {
+			b = len(mean) - 1
+		}
+		if b < a {
+			return 0
+		}
+		s := 0.0
+		for k := a; k <= b; k++ {
+			s += mean[k]
+		}
+		return s / float64(b-a+1)
+	}
+	synth := scale.SignatureConfig()
+	blade := float64(synth.Blades) * synth.HoverSpeed / (2 * math.Pi)
+	result.GroupPeaks["blade"] = groupMean(blade*0.7, blade*1.5)
+	result.GroupPeaks["mech"] = groupMean(scale.MechFreq*0.8, scale.MechFreq*1.2)
+	result.GroupPeaks["aero"] = groupMean(scale.AeroFreq*0.85, scale.AeroFreq*1.12)
+	result.GroupPeaks["gap"] = groupMean(blade*3, scale.MechFreq*0.6)
+
+	// (b-d) Maneuver series: hover, descent (decelerating climb effort),
+	// ascent (accelerating climb effort).
+	maneuvers := map[string]sim.Mission{
+		"hovering": sim.HoverMission{Point: mathx.Vec3{Z: -10}, Seconds: 8},
+		"decelerating": sim.NewWaypointMission("desc", mathx.Vec3{Z: -14}, []sim.Waypoint{
+			{Pos: mathx.Vec3{Z: -8}, Speed: 1.5, HoldSeconds: 4},
+		}),
+		"accelerating": sim.NewWaypointMission("asc", mathx.Vec3{Z: -8}, []sim.Waypoint{
+			{Pos: mathx.Vec3{Z: -16}, Speed: 2.5, HoldSeconds: 4},
+		}),
+	}
+	sigCfg := soundboost.DefaultSignatureConfig(synth)
+	for name, m := range maneuvers {
+		cfg := scale.genConfig(m, scale.Seed+4200+int64(len(name)), sim.CalmWind())
+		f, err := dataset.Generate(cfg)
+		if err != nil {
+			return result, err
+		}
+		ex, err := soundboost.NewExtractor(f.Audio, sigCfg)
+		if err != nil {
+			return result, err
+		}
+		var series Fig2Series
+		aeroIdx := sigCfg.BandFeatureIndices("aero-lo")
+		for _, t0 := range ex.WindowStarts(sigCfg.WindowSeconds) {
+			feat := ex.Features(t0, sigCfg.WindowSeconds)
+			if feat == nil {
+				continue
+			}
+			amp := 0.0
+			for _, i := range aeroIdx {
+				amp += feat[i]
+			}
+			amp /= float64(len(aeroIdx))
+			tel := f.TelemetryBetween(t0, t0+sigCfg.WindowSeconds)
+			if len(tel) == 0 {
+				continue
+			}
+			var az float64
+			for _, s := range tel {
+				az += s.IMUAccel.Z
+			}
+			az /= float64(len(tel))
+			series.Time = append(series.Time, t0)
+			series.BandAmp = append(series.BandAmp, amp)
+			series.AccelZ = append(series.AccelZ, az)
+		}
+		series.Correlation = pearson(series.BandAmp, negate(series.AccelZ))
+		result.Series[name] = series
+	}
+	return result, nil
+}
+
+func negate(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = -v
+	}
+	return out
+}
+
+func pearson(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	ma, mb := stats.Mean(a), stats.Mean(b)
+	var num, da, db float64
+	for i := range a {
+		x, y := a[i]-ma, b[i]-mb
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	if da == 0 || db == 0 {
+		return 0
+	}
+	return num / math.Sqrt(da*db)
+}
+
+// Fig3Result demonstrates time-shift augmentation: the same actuation seen
+// through windows of different lengths (tailwind = shorter, headwind =
+// longer), all projected onto the fixed feature layout.
+type Fig3Result struct {
+	// Factors are the window multipliers.
+	Factors []float64
+	// FeatureDistance is the L2 distance of each augmented signature from
+	// the base signature (grows smoothly with the factor).
+	FeatureDistance []float64
+}
+
+// RunFig3 regenerates the augmentation demonstration.
+func RunFig3(scale Scale) (Fig3Result, error) {
+	m := sim.NewWaypointMission("accel", mathx.Vec3{Z: -10}, []sim.Waypoint{
+		{Pos: mathx.Vec3{X: 10, Z: -10}, Speed: 2.5, HoldSeconds: 2},
+	})
+	cfg := scale.genConfig(m, scale.Seed+4400, sim.CalmWind())
+	f, err := dataset.Generate(cfg)
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	sigCfg := soundboost.DefaultSignatureConfig(scale.SignatureConfig())
+	ex, err := soundboost.NewExtractor(f.Audio, sigCfg)
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	base := ex.Features(1.0, sigCfg.WindowSeconds)
+	if base == nil {
+		return Fig3Result{}, fmt.Errorf("experiments: fig3 base window unavailable")
+	}
+	var result Fig3Result
+	for _, factor := range []float64{0.5, 1, 2, 3, 5} {
+		feat := ex.Features(1.0, sigCfg.WindowSeconds*factor)
+		if feat == nil {
+			continue
+		}
+		var d float64
+		for i := range feat {
+			diff := feat[i] - base[i]
+			d += diff * diff
+		}
+		result.Factors = append(result.Factors, factor)
+		result.FeatureDistance = append(result.FeatureDistance, math.Sqrt(d))
+	}
+	return result, nil
+}
+
+// Fig6Result holds the residual histograms of Fig. 6.
+type Fig6Result struct {
+	// BenignHist / AttackHist are the z-axis residual histograms.
+	BenignHist *stats.Histogram
+	AttackHist *stats.Histogram
+	// BenignFit / AttackFit are fitted normals.
+	BenignFit stats.Normal
+	AttackFit stats.Normal
+}
+
+// String renders the distribution comparison.
+func (r Fig6Result) String() string {
+	return fmt.Sprintf("Fig 6: benign residuals N(%.2f, %.2f); attack residuals N(%.2f, %.2f)",
+		r.BenignFit.Mu, r.BenignFit.Sigma, r.AttackFit.Mu, r.AttackFit.Sigma)
+}
+
+// RunFig6 regenerates the residual-distribution comparison from one benign
+// and one DoS-attacked hover flight.
+func RunFig6(lab *Lab) (Fig6Result, error) {
+	var result Fig6Result
+	specs := lab.Scale.IMUFlights()
+	var benignSpec, attackSpec *IMUSpec
+	for i := range specs {
+		if specs[i].Attack && attackSpec == nil {
+			attackSpec = &specs[i]
+		}
+		if !specs[i].Attack && benignSpec == nil {
+			benignSpec = &specs[i]
+		}
+	}
+	if benignSpec == nil || attackSpec == nil {
+		return result, fmt.Errorf("experiments: fig6 needs both flight kinds")
+	}
+	collect := func(spec IMUSpec) (*stats.Histogram, stats.Normal, error) {
+		f, err := lab.Scale.GenerateIMUFlight(spec)
+		if err != nil {
+			return nil, stats.Normal{}, err
+		}
+		h, err := lab.IMUDetector.ResidualHistogram(f, -8, 8, 60)
+		if err != nil {
+			return nil, stats.Normal{}, err
+		}
+		// Refit from the histogram samples via windows for the normal curve.
+		windows, err := soundboost.BuildWindows(f, lab.Model.Config().Signature, 0, 1)
+		if err != nil {
+			return nil, stats.Normal{}, err
+		}
+		var residuals []float64
+		for _, w := range windows {
+			pred := lab.Model.Predict(w.Features)
+			residuals = append(residuals, pred.Z-w.Label.Z)
+		}
+		fit, err := stats.FitNormal(residuals)
+		if err != nil {
+			return nil, stats.Normal{}, err
+		}
+		return h, fit, nil
+	}
+	var err error
+	result.BenignHist, result.BenignFit, err = collect(*benignSpec)
+	if err != nil {
+		return result, err
+	}
+	result.AttackHist, result.AttackFit, err = collect(*attackSpec)
+	if err != nil {
+		return result, err
+	}
+	return result, nil
+}
+
+// Fig7Result holds the z-axis position/velocity estimation trace during a
+// GPS spoofing period.
+type Fig7Result struct {
+	// Trace is the detector's diagnostic series.
+	Trace *soundboost.GPSTrace
+	// SpoofWindow bounds the attack.
+	SpoofWindow [2]float64
+	// Verdict is the detection outcome.
+	Attacked      bool
+	DetectionTime float64
+}
+
+// RunFig7 regenerates the Fig. 7 trace: a hover mission under a vertical
+// drift spoof analysed with the audio+IMU KF.
+func RunFig7(lab *Lab) (Fig7Result, error) {
+	var zSpec *PeriodSpec
+	specs := lab.Scale.GPSPeriods()
+	for i := range specs {
+		if specs[i].Attack && specs[i].Offset.Z != 0 {
+			zSpec = &specs[i]
+			break
+		}
+	}
+	if zSpec == nil {
+		for i := range specs {
+			if specs[i].Attack {
+				zSpec = &specs[i]
+				break
+			}
+		}
+	}
+	if zSpec == nil {
+		return Fig7Result{}, fmt.Errorf("experiments: no attack period for fig7")
+	}
+	f, err := lab.Scale.GeneratePeriod(*zSpec)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	trace, err := lab.GPSAudioIMU.Trace(f)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	v, err := lab.GPSAudioIMU.Detect(f)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	return Fig7Result{
+		Trace:         trace,
+		SpoofWindow:   [2]float64{zSpec.Window.Start, zSpec.Window.End},
+		Attacked:      v.Attacked,
+		DetectionTime: v.DetectionTime,
+	}, nil
+}
+
+// ImportanceRow is one frequency-group counterfactual result (§IV-A).
+type ImportanceRow struct {
+	// Group names the removed frequency group.
+	Group string
+	// MSE is the model error with the group removed from the signal.
+	MSE float64
+	// Ratio is MSE / baseline MSE.
+	Ratio float64
+}
+
+// RunFrequencyImportance regenerates the counterfactual band-removal
+// analysis over the lab's calibration flights.
+func RunFrequencyImportance(lab *Lab) ([]ImportanceRow, float64, error) {
+	flights := lab.Calib
+	if len(flights) > 3 {
+		flights = flights[:3]
+	}
+	base, err := soundboost.EvaluateMSE(lab.Model, flights)
+	if err != nil {
+		return nil, 0, err
+	}
+	synth := lab.Scale.SignatureConfig()
+	blade := float64(synth.Blades) * synth.HoverSpeed / (2 * math.Pi)
+	groups := []struct {
+		name   string
+		center float64
+		q      float64
+	}{
+		{"aerodynamic", lab.Scale.AeroFreq, 3},
+		{"blade-passing", blade, 2},
+		{"mechanical", lab.Scale.MechFreq, 3},
+		{"other-noise", (blade*3 + lab.Scale.MechFreq*0.6) / 2, 1.5},
+	}
+	var rows []ImportanceRow
+	for _, g := range groups {
+		mse, err := soundboost.EvaluateMSEBandRemoved(lab.Model, flights, g.center, g.q)
+		if err != nil {
+			return nil, 0, err
+		}
+		rows = append(rows, ImportanceRow{Group: g.name, MSE: mse, Ratio: mse / base})
+	}
+	return rows, base, nil
+}
+
+// TimingResult reports the runtime overhead figures of §IV-C.
+type TimingResult struct {
+	// SignatureSecondsPerFlightSecond is the signature-generation cost per
+	// second of flight (the paper reports 2.4% overhead).
+	SignatureSecondsPerFlightSecond float64
+	// IMUDetectSeconds and GPSDetectSeconds are per-flight analysis times.
+	IMUDetectSeconds float64
+	GPSDetectSeconds float64
+}
+
+// RunTiming measures the analysis overheads on one calibration flight.
+func RunTiming(lab *Lab) (TimingResult, error) {
+	f := lab.Calib[0]
+	var result TimingResult
+
+	start := time.Now()
+	sigCfg := lab.Model.Config().Signature
+	ex, err := soundboost.NewExtractor(f.Audio, sigCfg)
+	if err != nil {
+		return result, err
+	}
+	n := 0
+	for _, t0 := range ex.WindowStarts(sigCfg.WindowSeconds) {
+		if ex.Features(t0, sigCfg.WindowSeconds) != nil {
+			n++
+		}
+	}
+	if n == 0 {
+		return result, fmt.Errorf("experiments: timing flight too short")
+	}
+	result.SignatureSecondsPerFlightSecond = time.Since(start).Seconds() / f.Duration()
+
+	start = time.Now()
+	if _, err := lab.IMUDetector.Detect(f); err != nil {
+		return result, err
+	}
+	result.IMUDetectSeconds = time.Since(start).Seconds()
+
+	start = time.Now()
+	if _, err := lab.GPSAudioIMU.Detect(f); err != nil {
+		return result, err
+	}
+	result.GPSDetectSeconds = time.Since(start).Seconds()
+	return result, nil
+}

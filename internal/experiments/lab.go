@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"soundboost/internal/baselines"
+	soundboost "soundboost/internal/core"
+	"soundboost/internal/dataset"
+	"soundboost/internal/kalman"
+	"soundboost/internal/nn"
+)
+
+// Lab holds the trained model, calibrated detectors, and the benign
+// corpora shared by all experiments at one scale. Building a Lab is the
+// expensive one-time step (paper §IV-C: "offline training and parameter
+// tuning... only need to be performed once for each UAV model").
+type Lab struct {
+	// Scale is the experiment scale.
+	Scale Scale
+	// Model is the trained acoustic model.
+	Model *soundboost.AcousticModel
+	// History is the model's training history.
+	History nn.TrainHistory
+	// TrainMSE, ValMSE, TestMSE summarise the model fit.
+	TrainMSE, ValMSE, TestMSE float64
+
+	// Calib are the benign detector-calibration flights (held in memory).
+	Calib []*dataset.Flight
+	// GPSCalib are benign flights with the *period* duration profile, used
+	// to calibrate the velocity-error detectors: thresholds must be learned
+	// on flights as long as the periods they will judge, or accumulated
+	// drift makes them systematically optimistic.
+	GPSCalib []*dataset.Flight
+	// Val are the validation flights.
+	Val []*dataset.Flight
+
+	// Detectors calibrated once.
+	IMUDetector  *soundboost.IMUDetector
+	GPSAudioOnly *soundboost.GPSDetector
+	GPSAudioIMU  *soundboost.GPSDetector
+	Failsafe     *baselines.Failsafe
+	LTIYaw       *baselines.LTI
+	LTIVx        *baselines.LTI
+	LTIVy        *baselines.LTI
+	DNN          *baselines.DNN
+
+	// BuildSeconds records how long the lab took to assemble.
+	BuildSeconds float64
+
+	// logf receives progress lines.
+	logf func(format string, args ...any)
+}
+
+// LabOption customises lab construction.
+type LabOption func(*labOptions)
+
+type labOptions struct {
+	logf func(format string, args ...any)
+}
+
+// WithLogf streams progress lines during lab construction.
+func WithLogf(f func(format string, args ...any)) LabOption {
+	return func(o *labOptions) { o.logf = f }
+}
+
+// NewLab generates the training corpus, trains the acoustic model, and
+// calibrates every detector (SoundBoost's two stages plus all baselines).
+func NewLab(scale Scale, opts ...LabOption) (*Lab, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	var o labOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	logf := o.logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	start := time.Now()
+
+	sigCfg := soundboost.DefaultSignatureConfig(scale.SignatureConfig())
+	mapCfg := soundboost.DefaultMappingConfig(sigCfg)
+	mapCfg.Hidden = scale.Hidden
+	mapCfg.Train.Epochs = scale.Epochs
+	mapCfg.Seed = scale.Seed
+
+	lab := &Lab{Scale: scale, logf: logf}
+
+	// --- Training corpus: stream flights into feature pairs.
+	var xs, ys [][]float64
+	missionCounter := 0
+	for i := 0; i < scale.TrainFlights; i++ {
+		missions := trainingMissions(scale, i)
+		mission := missions[missionCounter%len(missions)]
+		missionCounter++
+		cfg := scale.genConfig(mission, scale.Seed+100+int64(i)*7, windCycle(i))
+		cfg.Name = fmt.Sprintf("train-%02d-%s", i, mission.Name())
+		f, err := dataset.Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: train flight %d: %w", i, err)
+		}
+		fx, fy, err := soundboost.ExtractTrainingWindows(f, mapCfg, i)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: extract flight %d: %w", i, err)
+		}
+		xs = append(xs, fx...)
+		ys = append(ys, fy...)
+		logf("train flight %d/%d (%s): %d windows", i+1, scale.TrainFlights, mission.Name(), len(fx))
+	}
+
+	// --- Validation corpus (kept for MSE reporting).
+	for i := 0; i < scale.ValFlights; i++ {
+		missions := trainingMissions(scale, i+1)
+		mission := missions[(i*2+1)%len(missions)]
+		cfg := scale.genConfig(mission, scale.Seed+300+int64(i)*11, windCycle(i+1))
+		cfg.Name = fmt.Sprintf("val-%02d-%s", i, mission.Name())
+		f, err := dataset.Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: val flight %d: %w", i, err)
+		}
+		lab.Val = append(lab.Val, f)
+	}
+	var valX, valY [][]float64
+	for i, f := range lab.Val {
+		windows, err := soundboost.BuildWindows(f, sigCfg, i, 1)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range windows {
+			valX = append(valX, w.Features)
+			valY = append(valY, w.Label.Slice())
+		}
+	}
+
+	logf("training model on %d windows (%d val)", len(xs), len(valX))
+	model, hist, err := soundboost.TrainModelFromSamples(xs, ys, valX, valY, mapCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: train model: %w", err)
+	}
+	lab.Model = model
+	lab.History = hist
+	if n := len(hist.TrainMSE); n > 0 {
+		lab.TrainMSE = hist.TrainMSE[n-1]
+	}
+	if n := len(hist.ValMSE); n > 0 {
+		lab.ValMSE = hist.ValMSE[n-1]
+	}
+
+	// --- Calibration corpus: mission-diverse benign flights.
+	for i := 0; i < scale.CalibFlights; i++ {
+		missions := trainingMissions(scale, i+2)
+		mission := missions[i%len(missions)]
+		cfg := scale.genConfig(mission, scale.Seed+500+int64(i)*13, windCycle(i))
+		cfg.Name = fmt.Sprintf("calib-%02d-%s", i, mission.Name())
+		f, err := dataset.Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: calib flight %d: %w", i, err)
+		}
+		lab.Calib = append(lab.Calib, f)
+	}
+	if mse, err := soundboost.EvaluateMSE(model, lab.Calib); err == nil {
+		lab.TestMSE = mse
+	}
+
+	// --- GPS calibration corpus: benign periods with the same duration
+	// profile as the Tab. II periods.
+	nGPSCalib := scale.CalibFlights
+	if nGPSCalib < 8 {
+		nGPSCalib = 8
+	}
+	for i := 0; i < nGPSCalib; i++ {
+		spec := PeriodSpec{
+			Index:    i,
+			Seed:     scale.Seed + 700 + int64(i)*29,
+			Duration: scale.GPSPeriodMin + float64(i%3)/2*(scale.GPSPeriodMax-scale.GPSPeriodMin),
+			Mission:  map[bool]string{true: "square", false: "hover"}[i%2 == 1],
+		}
+		f, err := scale.GeneratePeriod(spec)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: gps calib %d: %w", i, err)
+		}
+		f.Name = fmt.Sprintf("gps-calib-%02d", i)
+		lab.GPSCalib = append(lab.GPSCalib, f)
+	}
+
+	// --- Detectors.
+	logf("calibrating detectors on %d benign flights", len(lab.Calib))
+	lab.IMUDetector, err = soundboost.NewIMUDetector(model, lab.Calib, soundboost.DefaultIMUDetectorConfig())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: IMU detector: %w", err)
+	}
+	lab.GPSAudioOnly, err = soundboost.NewGPSDetector(model, lab.GPSCalib, soundboost.DefaultGPSDetectorConfig(kalman.ModeAudioOnly))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: audio-only detector: %w", err)
+	}
+	lab.GPSAudioIMU, err = soundboost.NewGPSDetector(model, lab.GPSCalib, soundboost.DefaultGPSDetectorConfig(kalman.ModeAudioIMU))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: audio+IMU detector: %w", err)
+	}
+	lab.Failsafe, err = baselines.NewFailsafe(lab.GPSCalib, baselines.DefaultFailsafeConfig())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: failsafe: %w", err)
+	}
+	lab.LTIYaw, err = baselines.NewLTI(lab.Calib, baselines.DefaultLTIConfig(baselines.LTIYaw))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: LTI yaw: %w", err)
+	}
+	lab.LTIVx, err = baselines.NewLTI(lab.Calib, baselines.DefaultLTIConfig(baselines.LTIVx))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: LTI vx: %w", err)
+	}
+	lab.LTIVy, err = baselines.NewLTI(lab.Calib, baselines.DefaultLTIConfig(baselines.LTIVy))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: LTI vy: %w", err)
+	}
+	dnnCfg := baselines.DefaultDNNConfig()
+	if scale.Name == "quick" {
+		dnnCfg.Train.Epochs = 8
+	}
+	lab.DNN, err = baselines.NewDNN(lab.Calib, dnnCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: DNN: %w", err)
+	}
+
+	lab.BuildSeconds = time.Since(start).Seconds()
+	logf("lab ready in %.1fs (train MSE %.4f, val MSE %.4f, test MSE %.4f)",
+		lab.BuildSeconds, lab.TrainMSE, lab.ValMSE, lab.TestMSE)
+	return lab, nil
+}
+
+// Analyzer assembles the full two-stage RCA pipeline from the lab's
+// detectors.
+func (l *Lab) Analyzer() *soundboost.Analyzer {
+	return &soundboost.Analyzer{
+		Model:        l.Model,
+		IMU:          l.IMUDetector,
+		GPSAudioOnly: l.GPSAudioOnly,
+		GPSAudioIMU:  l.GPSAudioIMU,
+	}
+}

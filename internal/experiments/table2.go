@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"soundboost/internal/baselines"
+	"soundboost/internal/dataset"
+	"soundboost/internal/stats"
+)
+
+// Table2Row is one detector's Tab. II line.
+type Table2Row struct {
+	// Detector names the system input configuration.
+	Detector string
+	// BenignFlights / BenignAlerted and AttackFlights / AttackAlerted are
+	// the raw counts the paper reports.
+	BenignFlights int
+	BenignAlerted int
+	AttackFlights int
+	AttackAlerted int
+	// TPR and FPR are the derived rates.
+	TPR float64
+	FPR float64
+	// MeanDelay is the mean detection delay after attack onset (s), over
+	// detected attacks.
+	MeanDelay float64
+}
+
+// Table2Result is the full detection comparison.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// String renders the table like the paper's Tab. II.
+func (r Table2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %8s %8s %8s %8s %6s %6s %8s\n",
+		"Detector", "#Benign", "#Alert", "#Attack", "#Alert", "TPR", "FPR", "Delay(s)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-22s %8d %8d %8d %8d %6.2f %6.2f %8.1f\n",
+			row.Detector, row.BenignFlights, row.BenignAlerted,
+			row.AttackFlights, row.AttackAlerted, row.TPR, row.FPR, row.MeanDelay)
+	}
+	return b.String()
+}
+
+// detectFn adapts every detector to one signature.
+type detectFn func(f *dataset.Flight) (attacked bool, detectionTime float64, err error)
+
+// RunTable2 evaluates all seven Tab. II detectors over the scale's GPS
+// periods, streaming one period at a time. SoundBoost's two variants are
+// evaluated unconditionally on every period (the paper's table reports
+// each input configuration over the full period sets).
+func RunTable2(lab *Lab, logf func(string, ...any)) (Table2Result, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	detectors := []struct {
+		name string
+		fn   detectFn
+	}{
+		{"soundboost audio", func(f *dataset.Flight) (bool, float64, error) {
+			v, err := lab.GPSAudioOnly.Detect(f)
+			return v.Attacked, v.DetectionTime, err
+		}},
+		{"soundboost audio+imu", func(f *dataset.Flight) (bool, float64, error) {
+			v, err := lab.GPSAudioIMU.Detect(f)
+			return v.Attacked, v.DetectionTime, err
+		}},
+		{"failsafe imu-only", func(f *dataset.Flight) (bool, float64, error) {
+			v, err := lab.Failsafe.Detect(f)
+			return v.Attacked, v.DetectionTime, err
+		}},
+		{"lti yaw", baselineFn(lab.LTIYaw)},
+		{"lti vx", baselineFn(lab.LTIVx)},
+		{"lti vy", baselineFn(lab.LTIVy)},
+		{"dnn lstm", baselineFn(lab.DNN)},
+	}
+
+	counts := make([]stats.ConfusionCounts, len(detectors))
+	delays := make([][]float64, len(detectors))
+	specs := lab.Scale.GPSPeriods()
+	for si, spec := range specs {
+		f, err := lab.Scale.GeneratePeriod(spec)
+		if err != nil {
+			return Table2Result{}, fmt.Errorf("experiments: period %d: %w", si, err)
+		}
+		for di, d := range detectors {
+			attacked, at, err := d.fn(f)
+			if err != nil {
+				return Table2Result{}, fmt.Errorf("experiments: %s on period %d: %w", d.name, si, err)
+			}
+			counts[di].Record(spec.Attack, attacked)
+			if spec.Attack && attacked && at >= spec.Window.Start {
+				delays[di] = append(delays[di], at-spec.Window.Start)
+			}
+		}
+		logf("period %d/%d (%s, attack=%v) done", si+1, len(specs), spec.Mission, spec.Attack)
+	}
+
+	var result Table2Result
+	for di, d := range detectors {
+		c := counts[di]
+		row := Table2Row{
+			Detector:      d.name,
+			BenignFlights: c.FP + c.TN,
+			BenignAlerted: c.FP,
+			AttackFlights: c.TP + c.FN,
+			AttackAlerted: c.TP,
+			TPR:           c.TPR(),
+			FPR:           c.FPR(),
+			MeanDelay:     stats.Mean(delays[di]),
+		}
+		result.Rows = append(result.Rows, row)
+	}
+	return result, nil
+}
+
+func baselineFn(d baselines.Detector) detectFn {
+	return func(f *dataset.Flight) (bool, float64, error) {
+		v, err := d.Detect(f)
+		return v.Attacked, v.DetectionTime, err
+	}
+}
+
+// RCAOutcome is one flight's full two-stage RCA result in the end-to-end
+// experiment.
+type RCAOutcome struct {
+	// Flight names the period.
+	Flight string
+	// TrueKind is the ground-truth scenario kind.
+	TrueKind string
+	// Cause is the attributed root cause.
+	Cause string
+}
+
+// RunEndToEndRCA exercises the complete pipeline (stage 1 then stage 2
+// with the mode chosen by stage 1) over a mixed set of benign, IMU-attack
+// and GPS-attack flights, returning the attribution for each.
+func RunEndToEndRCA(lab *Lab, logf func(string, ...any)) ([]RCAOutcome, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	an := lab.Analyzer()
+	var out []RCAOutcome
+	analyze := func(f *dataset.Flight) error {
+		r, err := an.Analyze(f)
+		if err != nil {
+			return err
+		}
+		out = append(out, RCAOutcome{Flight: f.Name, TrueKind: f.Scenario.Kind, Cause: string(r.Cause)})
+		logf("rca %s: true=%s cause=%s", f.Name, f.Scenario.Kind, r.Cause)
+		return nil
+	}
+	// A benign period, one GPS attack period, and one of each IMU attack.
+	specs := lab.Scale.GPSPeriods()
+	var benign, gps *PeriodSpec
+	for i := range specs {
+		if specs[i].Attack && gps == nil {
+			gps = &specs[i]
+		}
+		if !specs[i].Attack && benign == nil {
+			benign = &specs[i]
+		}
+	}
+	for _, spec := range []*PeriodSpec{benign, gps} {
+		if spec == nil {
+			continue
+		}
+		f, err := lab.Scale.GeneratePeriod(*spec)
+		if err != nil {
+			return nil, err
+		}
+		if err := analyze(f); err != nil {
+			return nil, err
+		}
+	}
+	for _, spec := range lab.Scale.IMUFlights() {
+		if !spec.Attack {
+			continue
+		}
+		f, err := lab.Scale.GenerateIMUFlight(spec)
+		if err != nil {
+			return nil, err
+		}
+		if err := analyze(f); err != nil {
+			return nil, err
+		}
+		break // one representative IMU attack
+	}
+	return out, nil
+}

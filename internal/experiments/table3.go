@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"soundboost/internal/acoustics"
+	soundboost "soundboost/internal/core"
+	"soundboost/internal/dataset"
+	"soundboost/internal/stats"
+)
+
+// Table3Cell is one (attack amplitude, channel count) grid entry of the
+// adversarial phase-synchronised sound experiment (paper Tab. III).
+type Table3Cell struct {
+	// Amplitude is the band amplitude fraction (0 = full cancel, 2 = 200%).
+	Amplitude float64
+	// Channels is the number of attacked microphone channels (1-4).
+	Channels int
+	// TPR and FPR are the audio+IMU detector's rates under the attack.
+	TPR float64
+	FPR float64
+}
+
+// Table3Result is the full adversarial grid plus the clean baseline.
+type Table3Result struct {
+	// BaselineTPR and BaselineFPR are the no-interference rates over the
+	// same period subset.
+	BaselineTPR float64
+	BaselineFPR float64
+	// Cells are the grid entries, cancel rows first.
+	Cells []Table3Cell
+}
+
+// String renders the grid like the paper's Tab. III.
+func (r Table3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "baseline (no interference): TPR %.2f FPR %.2f\n", r.BaselineTPR, r.BaselineFPR)
+	fmt.Fprintf(&b, "%-10s %9s", "Attack", "Amplitude")
+	for ch := 1; ch <= 4; ch++ {
+		fmt.Fprintf(&b, "   ch%d TPR  FPR", ch)
+	}
+	b.WriteString("\n")
+	byAmp := map[float64]map[int]Table3Cell{}
+	var amps []float64
+	for _, c := range r.Cells {
+		if byAmp[c.Amplitude] == nil {
+			byAmp[c.Amplitude] = map[int]Table3Cell{}
+			amps = append(amps, c.Amplitude)
+		}
+		byAmp[c.Amplitude][c.Channels] = c
+	}
+	for _, a := range amps {
+		kind := "Canceling"
+		if a > 1 {
+			kind = "Amplifying"
+		}
+		fmt.Fprintf(&b, "%-10s %8.0f%%", kind, a*100)
+		for ch := 1; ch <= 4; ch++ {
+			c := byAmp[a][ch]
+			fmt.Fprintf(&b, "   %.2f %6.2f", c.TPR, c.FPR)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RunTable3 evaluates the audio+IMU detector under the idealised
+// phase-synchronised attacker: the aerodynamic band of 1-4 channels is
+// cancelled (0-75%) or amplified (125-200%). Periods are re-used across
+// grid cells; only the interference differs.
+func RunTable3(lab *Lab, logf func(string, ...any)) (Table3Result, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	scale := lab.Scale
+	// Subsample the period set.
+	var specs []PeriodSpec
+	var nb, na int
+	for _, spec := range scale.GPSPeriods() {
+		if spec.Attack && na < scale.Tab3Attack {
+			specs = append(specs, spec)
+			na++
+		}
+		if !spec.Attack && nb < scale.Tab3Benign {
+			specs = append(specs, spec)
+			nb++
+		}
+	}
+	flights := make([]*dataset.Flight, 0, len(specs))
+	for _, spec := range specs {
+		f, err := scale.GeneratePeriod(spec)
+		if err != nil {
+			return Table3Result{}, err
+		}
+		flights = append(flights, f)
+	}
+
+	evaluate := func(interfere func(*dataset.Flight) *dataset.Flight) (tpr, fpr float64, err error) {
+		var counts stats.ConfusionCounts
+		for i, f := range flights {
+			target := f
+			if interfere != nil {
+				target = interfere(f)
+			}
+			v, err := lab.GPSAudioIMU.Detect(target)
+			if err != nil {
+				return 0, 0, err
+			}
+			counts.Record(specs[i].Attack, v.Attacked)
+		}
+		return counts.TPR(), counts.FPR(), nil
+	}
+
+	var result Table3Result
+	var err error
+	result.BaselineTPR, result.BaselineFPR, err = evaluate(nil)
+	if err != nil {
+		return Table3Result{}, err
+	}
+	logf("table3 baseline: TPR %.2f FPR %.2f", result.BaselineTPR, result.BaselineFPR)
+
+	amplitudes := []float64{0, 0.25, 0.5, 0.75, 1.25, 1.5, 1.75, 2.0}
+	for _, amp := range amplitudes {
+		for ch := 1; ch <= acoustics.NumMics; ch++ {
+			channels := make([]int, ch)
+			for i := range channels {
+				channels[i] = i
+			}
+			amp, ch := amp, ch
+			interfere := func(f *dataset.Flight) *dataset.Flight {
+				clone := &dataset.Flight{
+					Name:      f.Name,
+					Mission:   f.Mission,
+					Scenario:  f.Scenario,
+					Telemetry: f.Telemetry,
+					Audio:     f.Audio.Clone(),
+				}
+				acoustics.PhaseSyncedBandAttack{
+					Channels:   channels,
+					Amplitude:  amp,
+					BandCenter: scale.AeroFreq,
+					BandQ:      3,
+				}.Apply(clone.Audio)
+				return clone
+			}
+			tpr, fpr, err := evaluate(interfere)
+			if err != nil {
+				return Table3Result{}, err
+			}
+			result.Cells = append(result.Cells, Table3Cell{Amplitude: amp, Channels: ch, TPR: tpr, FPR: fpr})
+			logf("table3 amp %.0f%% ch %d: TPR %.2f FPR %.2f", amp*100, ch, tpr, fpr)
+		}
+	}
+	return result, nil
+}
+
+// RealWorldInterferenceResult summarises the §IV-D real-world experiments:
+// a second UAV at several distances and a record-and-replay speaker, both
+// of which should leave predictions essentially unchanged.
+type RealWorldInterferenceResult struct {
+	// Rows map a distance (m) to the relative change in model MSE.
+	Rows []struct {
+		Kind        string
+		Distance    float64
+		MSEChangePc float64
+	}
+}
+
+// RunRealWorldInterference measures the prediction-MSE impact of
+// non-phase-synchronised interference (second UAV, replay speaker).
+func RunRealWorldInterference(lab *Lab, logf func(string, ...any)) (RealWorldInterferenceResult, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var result RealWorldInterferenceResult
+	f := lab.Calib[0]
+	base, err := evalFlightMSE(lab, f)
+	if err != nil {
+		return result, err
+	}
+	synthCfg := lab.Scale.SignatureConfig()
+	addRow := func(kind string, dist float64, sig []float64) error {
+		clone := &dataset.Flight{
+			Name: f.Name, Mission: f.Mission, Scenario: f.Scenario,
+			Telemetry: f.Telemetry, Audio: f.Audio.Clone(),
+		}
+		acoustics.ExternalSourceInterference{
+			Signal:              sig,
+			Distance:            dist,
+			RefDistance:         0.25,
+			IntensityLossFactor: 0.46, // the paper's measured diffusion loss
+		}.Apply(clone.Audio)
+		mse, err := evalFlightMSE(lab, clone)
+		if err != nil {
+			return err
+		}
+		change := 100 * (mse - base) / base
+		result.Rows = append(result.Rows, struct {
+			Kind        string
+			Distance    float64
+			MSEChangePc float64
+		}{kind, dist, change})
+		logf("interference %s at %.1fm: MSE change %+.1f%%", kind, dist, change)
+		return nil
+	}
+	uavSig, err := acoustics.SecondUAVSignal(synthCfg, synthCfg.HoverSpeed, f.Audio.Samples(), lab.Scale.Seed+42)
+	if err != nil {
+		return result, err
+	}
+	for _, dist := range []float64{2.0, 1.5, 1.0, 0.5} {
+		if err := addRow("second-uav", dist, uavSig); err != nil {
+			return result, err
+		}
+	}
+	// A portable speaker tops out well below rotor SPL at the array
+	// (paper threat model: ~100 dB cap), hence the sub-unity gain.
+	replay := acoustics.ReplaySignal{Recording: f.Audio.Channels[0], VolumeGain: 0.5}
+	if err := addRow("replay-speaker", 0.5, replay.Signal()); err != nil {
+		return result, err
+	}
+	return result, nil
+}
+
+// evalFlightMSE computes the model MSE over one flight.
+func evalFlightMSE(lab *Lab, f *dataset.Flight) (float64, error) {
+	return soundboost.EvaluateMSE(lab.Model, []*dataset.Flight{f})
+}

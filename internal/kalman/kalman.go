@@ -1,0 +1,116 @@
+// Package kalman implements the linear Kalman filtering used in
+// SoundBoost's GPS-attack RCA stage (paper §III-C2): a generic linear KF
+// plus the three velocity-estimator variants the evaluation compares —
+// audio-only (compromised IMU), the customized audio+IMU fusion (benign
+// IMU), and the failsafe IMU-only baseline.
+package kalman
+
+import (
+	"fmt"
+
+	"soundboost/internal/mathx"
+)
+
+// Filter is a generic linear Kalman filter over an n-dimensional state.
+type Filter struct {
+	// X is the state estimate.
+	X []float64
+	// P is the state covariance.
+	P *mathx.Matrix
+}
+
+// NewFilter initialises a filter with state x0 and covariance p0 (copied).
+func NewFilter(x0 []float64, p0 *mathx.Matrix) (*Filter, error) {
+	if p0.Rows() != len(x0) || p0.Cols() != len(x0) {
+		return nil, fmt.Errorf("kalman: covariance %dx%d does not match state dim %d", p0.Rows(), p0.Cols(), len(x0))
+	}
+	return &Filter{X: append([]float64(nil), x0...), P: p0.Clone()}, nil
+}
+
+// Predict advances the state: x = F x + B u, P = F P Fᵀ + Q.
+// B and u may be nil for autonomous systems.
+func (f *Filter) Predict(F, B *mathx.Matrix, u []float64, Q *mathx.Matrix) error {
+	fx, err := F.MulVec(f.X)
+	if err != nil {
+		return fmt.Errorf("kalman: predict state: %w", err)
+	}
+	if B != nil && u != nil {
+		bu, err := B.MulVec(u)
+		if err != nil {
+			return fmt.Errorf("kalman: predict control: %w", err)
+		}
+		for i := range fx {
+			fx[i] += bu[i]
+		}
+	}
+	f.X = fx
+
+	fp, err := F.Mul(f.P)
+	if err != nil {
+		return err
+	}
+	fpft, err := fp.Mul(F.Transpose())
+	if err != nil {
+		return err
+	}
+	f.P, err = fpft.Add(Q)
+	if err != nil {
+		return err
+	}
+	f.P.Symmetrize()
+	return nil
+}
+
+// Update folds in measurement z with model H and noise R:
+// K = P Hᵀ (H P Hᵀ + R)⁻¹; x += K (z - H x); P = (I - K H) P.
+func (f *Filter) Update(H *mathx.Matrix, z []float64, R *mathx.Matrix) error {
+	hx, err := H.MulVec(f.X)
+	if err != nil {
+		return fmt.Errorf("kalman: update innovation: %w", err)
+	}
+	innov := make([]float64, len(z))
+	for i := range z {
+		innov[i] = z[i] - hx[i]
+	}
+	ph, err := f.P.Mul(H.Transpose())
+	if err != nil {
+		return err
+	}
+	hph, err := H.Mul(ph)
+	if err != nil {
+		return err
+	}
+	s, err := hph.Add(R)
+	if err != nil {
+		return err
+	}
+	sInv, err := s.Inverse()
+	if err != nil {
+		return fmt.Errorf("kalman: innovation covariance singular: %w", err)
+	}
+	k, err := ph.Mul(sInv)
+	if err != nil {
+		return err
+	}
+	kv, err := k.MulVec(innov)
+	if err != nil {
+		return err
+	}
+	for i := range f.X {
+		f.X[i] += kv[i]
+	}
+	kh, err := k.Mul(H)
+	if err != nil {
+		return err
+	}
+	ikh, err := mathx.Identity(len(f.X)).Sub(kh)
+	if err != nil {
+		return err
+	}
+	f.P, err = ikh.Mul(f.P)
+	if err != nil {
+		return err
+	}
+	f.P.Symmetrize()
+	return nil
+}

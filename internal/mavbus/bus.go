@@ -1,0 +1,178 @@
+// Package mavbus is a lightweight typed publish/subscribe telemetry bus
+// modelled on the MAVLink/MAVSDK dataflow between the PX4 autopilot and the
+// companion computer running SoundBoost (paper §III-D). Topics carry typed
+// messages; subscribers receive them over buffered channels with
+// drop-oldest backpressure, mirroring how a telemetry link sheds stale
+// samples rather than stalling the flight stack. A bounded replay buffer
+// per topic supports the post hoc analysis pattern: RCA runs after the
+// mission, reading back what was recorded.
+package mavbus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrClosed is returned when operating on a closed bus.
+var ErrClosed = errors.New("mavbus: bus closed")
+
+// Message is one telemetry item on the bus.
+type Message struct {
+	// Topic names the stream (e.g. "imu", "gps", "audio-frame").
+	Topic string
+	// Time is the message timestamp in flight seconds.
+	Time float64
+	// Payload is the typed message body.
+	Payload any
+}
+
+// Subscription receives messages for one topic.
+type Subscription struct {
+	// C delivers messages. It is closed when the bus closes or the
+	// subscription is cancelled.
+	C <-chan Message
+
+	bus    *Bus
+	topic  string
+	ch     chan Message
+	once   sync.Once
+}
+
+// Cancel detaches the subscription and closes its channel.
+func (s *Subscription) Cancel() {
+	s.once.Do(func() {
+		s.bus.mu.Lock()
+		defer s.bus.mu.Unlock()
+		subs := s.bus.subs[s.topic]
+		for i, sub := range subs {
+			if sub == s {
+				s.bus.subs[s.topic] = append(subs[:i], subs[i+1:]...)
+				break
+			}
+		}
+		close(s.ch)
+	})
+}
+
+// Bus is a concurrency-safe topic bus with per-topic replay buffers.
+type Bus struct {
+	mu       sync.Mutex
+	subs     map[string][]*Subscription
+	replay   map[string][]Message
+	replayN  int
+	closed   bool
+	dropped  int
+}
+
+// NewBus builds a bus retaining up to replayN messages per topic for
+// post hoc reads (0 disables replay).
+func NewBus(replayN int) *Bus {
+	return &Bus{
+		subs:    make(map[string][]*Subscription),
+		replay:  make(map[string][]Message),
+		replayN: replayN,
+	}
+}
+
+// Publish posts a message to a topic. Subscribers with full buffers drop
+// their oldest message (telemetry semantics: newest data wins).
+func (b *Bus) Publish(msg Message) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	if b.replayN > 0 {
+		r := append(b.replay[msg.Topic], msg)
+		if len(r) > b.replayN {
+			r = r[len(r)-b.replayN:]
+		}
+		b.replay[msg.Topic] = r
+	}
+	for _, s := range b.subs[msg.Topic] {
+		select {
+		case s.ch <- msg:
+		default:
+			// Drop the oldest queued message to make room.
+			select {
+			case <-s.ch:
+				b.dropped++
+			default:
+			}
+			select {
+			case s.ch <- msg:
+			default:
+				b.dropped++
+			}
+		}
+	}
+	return nil
+}
+
+// Subscribe attaches to a topic with the given channel buffer size
+// (minimum 1).
+func (b *Bus) Subscribe(topic string, buffer int) (*Subscription, error) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	ch := make(chan Message, buffer)
+	sub := &Subscription{C: ch, bus: b, topic: topic, ch: ch}
+	b.subs[topic] = append(b.subs[topic], sub)
+	return sub, nil
+}
+
+// Replay returns a copy of the retained messages for a topic in
+// publication order.
+func (b *Bus) Replay(topic string) []Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Message(nil), b.replay[topic]...)
+}
+
+// Dropped reports how many messages were shed due to backpressure.
+func (b *Bus) Dropped() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Close shuts the bus; all subscription channels are closed.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for topic, subs := range b.subs {
+		for _, s := range subs {
+			s.once.Do(func() { close(s.ch) })
+		}
+		delete(b.subs, topic)
+	}
+}
+
+// Topics returns the replayable topic names (sorted insertion is not
+// guaranteed; callers sort if needed).
+func (b *Bus) Topics() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.replay))
+	for t := range b.replay {
+		out = append(out, t)
+	}
+	return out
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (b *Bus) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return fmt.Sprintf("mavbus{topics=%d dropped=%d closed=%v}", len(b.replay), b.dropped, b.closed)
+}

@@ -1,0 +1,178 @@
+package mavbus
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPublishSubscribe(t *testing.T) {
+	b := NewBus(10)
+	defer b.Close()
+	sub, err := b.Subscribe("imu", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish(Message{Topic: "imu", Time: 1, Payload: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-sub.C:
+		if m.Time != 1 || m.Payload != "a" {
+			t.Errorf("got %+v", m)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no message delivered")
+	}
+}
+
+func TestTopicIsolation(t *testing.T) {
+	b := NewBus(10)
+	defer b.Close()
+	imu, err := b.Subscribe("imu", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish(Message{Topic: "gps", Time: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-imu.C:
+		t.Errorf("imu subscriber got gps message %+v", m)
+	default:
+	}
+}
+
+func TestDropOldestBackpressure(t *testing.T) {
+	b := NewBus(0)
+	defer b.Close()
+	sub, err := b.Subscribe("imu", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := b.Publish(Message{Topic: "imu", Time: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Buffer of 2: the two newest messages (3, 4) must survive.
+	m1 := <-sub.C
+	m2 := <-sub.C
+	if m1.Time != 3 || m2.Time != 4 {
+		t.Errorf("surviving messages %v, %v; want 3, 4", m1.Time, m2.Time)
+	}
+	if b.Dropped() == 0 {
+		t.Error("Dropped() = 0 after overflow")
+	}
+}
+
+func TestReplayBuffer(t *testing.T) {
+	b := NewBus(3)
+	defer b.Close()
+	for i := 0; i < 5; i++ {
+		if err := b.Publish(Message{Topic: "gps", Time: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := b.Replay("gps")
+	if len(r) != 3 {
+		t.Fatalf("replay length %d, want 3", len(r))
+	}
+	for i, m := range r {
+		if m.Time != float64(i+2) {
+			t.Errorf("replay[%d].Time = %v, want %v", i, m.Time, i+2)
+		}
+	}
+	if got := b.Replay("nonexistent"); len(got) != 0 {
+		t.Errorf("unknown topic replay = %v", got)
+	}
+}
+
+func TestCancelSubscription(t *testing.T) {
+	b := NewBus(0)
+	defer b.Close()
+	sub, err := b.Subscribe("imu", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Cancel()
+	if _, ok := <-sub.C; ok {
+		t.Error("channel not closed after Cancel")
+	}
+	// Publishing after cancel must not panic.
+	if err := b.Publish(Message{Topic: "imu"}); err != nil {
+		t.Fatal(err)
+	}
+	// Double cancel is safe.
+	sub.Cancel()
+}
+
+func TestCloseBus(t *testing.T) {
+	b := NewBus(0)
+	sub, err := b.Subscribe("x", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	if _, ok := <-sub.C; ok {
+		t.Error("subscription channel open after Close")
+	}
+	if err := b.Publish(Message{Topic: "x"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Publish after close = %v, want ErrClosed", err)
+	}
+	if _, err := b.Subscribe("x", 1); !errors.Is(err, ErrClosed) {
+		t.Errorf("Subscribe after close = %v, want ErrClosed", err)
+	}
+	b.Close() // idempotent
+}
+
+func TestConcurrentPublishers(t *testing.T) {
+	b := NewBus(1000)
+	defer b.Close()
+	sub, err := b.Subscribe("imu", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const publishers = 8
+	const perPublisher = 100
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				_ = b.Publish(Message{Topic: "imu", Time: float64(p*1000 + i)})
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := len(b.Replay("imu")); got != publishers*perPublisher {
+		t.Errorf("replay has %d messages, want %d", got, publishers*perPublisher)
+	}
+	received := 0
+	for {
+		select {
+		case <-sub.C:
+			received++
+		default:
+			if received != publishers*perPublisher {
+				t.Errorf("received %d, want %d", received, publishers*perPublisher)
+			}
+			return
+		}
+	}
+}
+
+func TestTopicsAndString(t *testing.T) {
+	b := NewBus(5)
+	defer b.Close()
+	_ = b.Publish(Message{Topic: "a"})
+	_ = b.Publish(Message{Topic: "b"})
+	if got := len(b.Topics()); got != 2 {
+		t.Errorf("Topics() has %d entries, want 2", got)
+	}
+	if s := b.String(); s == "" {
+		t.Error("empty String()")
+	}
+}

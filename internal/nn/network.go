@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a network from layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x []float64) []float64 {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(grad []float64) []float64 {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []Param {
+	var out []Param
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// OutputSize implements Layer.
+func (s *Sequential) OutputSize(in int) int {
+	for _, l := range s.Layers {
+		in = l.OutputSize(in)
+	}
+	return in
+}
+
+var _ Layer = (*Sequential)(nil)
+
+// ModelKind selects one of the three audio-regressor families the paper
+// compares (§III-B "DL Model Selection").
+type ModelKind string
+
+const (
+	// ModelMLP is a compact plain MLP, the MobileNetV2 stand-in (the
+	// paper's best performer and default).
+	ModelMLP ModelKind = "mlp"
+	// ModelResMLP uses residual blocks, the ResNet101 stand-in.
+	ModelResMLP ModelKind = "resmlp"
+	// ModelODE uses a weight-tied Euler-integrated block, the Neural-ODE
+	// stand-in.
+	ModelODE ModelKind = "ode"
+)
+
+// NewRegressor builds one of the model families mapping in features to out
+// targets. Hidden controls capacity; rng seeds initialisation.
+func NewRegressor(kind ModelKind, in, hidden, out int, rng *rand.Rand) (*Sequential, error) {
+	if in <= 0 || hidden <= 0 || out <= 0 {
+		return nil, fmt.Errorf("nn: invalid regressor shape in=%d hidden=%d out=%d", in, hidden, out)
+	}
+	switch kind {
+	case ModelMLP:
+		return NewSequential(
+			NewDense(in, hidden, rng),
+			&ReLU{},
+			NewDense(hidden, hidden/2+1, rng),
+			&ReLU{},
+			NewDense(hidden/2+1, out, rng),
+		), nil
+	case ModelResMLP:
+		block := func() Layer {
+			return &Residual{Inner: NewSequential(
+				NewDense(hidden, hidden, rng),
+				&ReLU{},
+				NewDense(hidden, hidden, rng),
+			)}
+		}
+		return NewSequential(
+			NewDense(in, hidden, rng),
+			&ReLU{},
+			block(),
+			block(),
+			NewDense(hidden, out, rng),
+		), nil
+	case ModelODE:
+		f := NewSequential(
+			NewDense(hidden, hidden, rng),
+			&Tanh{},
+			NewDense(hidden, hidden, rng),
+		)
+		return NewSequential(
+			NewDense(in, hidden, rng),
+			&Tanh{},
+			&ODEBlock{F: f, Steps: 4, H: 0.25},
+			NewDense(hidden, out, rng),
+		), nil
+	default:
+		return nil, fmt.Errorf("nn: unknown model kind %q", kind)
+	}
+}

@@ -1,0 +1,98 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients and zeroes
+// the accumulators.
+type Optimizer interface {
+	// Step applies one update over all parameter tensors.
+	Step(params []Param)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	// LR is the learning rate.
+	LR float64
+	// Momentum in [0,1) enables classical momentum.
+	Momentum float64
+
+	velocity [][]float64
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []Param) {
+	if s.Momentum > 0 && s.velocity == nil {
+		s.velocity = make([][]float64, len(params))
+		for i, p := range params {
+			s.velocity[i] = make([]float64, len(p.Value))
+		}
+	}
+	for i, p := range params {
+		for j := range p.Value {
+			g := p.Grad[j]
+			if s.Momentum > 0 {
+				s.velocity[i][j] = s.Momentum*s.velocity[i][j] + g
+				g = s.velocity[i][j]
+			}
+			p.Value[j] -= s.LR * g
+			p.Grad[j] = 0
+		}
+	}
+}
+
+// Adam is the Adam optimiser (Kingma & Ba) with bias correction.
+type Adam struct {
+	// LR is the learning rate (default 1e-3 if zero).
+	LR float64
+	// Beta1, Beta2 are the moment decay rates (defaults 0.9 / 0.999).
+	Beta1, Beta2 float64
+	// Eps is the numerical-stability constant (default 1e-8).
+	Eps float64
+
+	m, v [][]float64
+	t    int
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []Param) {
+	if a.LR == 0 {
+		a.LR = 1e-3
+	}
+	if a.Beta1 == 0 {
+		a.Beta1 = 0.9
+	}
+	if a.Beta2 == 0 {
+		a.Beta2 = 0.999
+	}
+	if a.Eps == 0 {
+		a.Eps = 1e-8
+	}
+	if a.m == nil {
+		a.m = make([][]float64, len(params))
+		a.v = make([][]float64, len(params))
+		for i, p := range params {
+			a.m[i] = make([]float64, len(p.Value))
+			a.v[i] = make([]float64, len(p.Value))
+		}
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		for j := range p.Value {
+			g := p.Grad[j]
+			a.m[i][j] = a.Beta1*a.m[i][j] + (1-a.Beta1)*g
+			a.v[i][j] = a.Beta2*a.v[i][j] + (1-a.Beta2)*g*g
+			mHat := a.m[i][j] / c1
+			vHat := a.v[i][j] / c2
+			p.Value[j] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+			p.Grad[j] = 0
+		}
+	}
+}
+
+// Verify interface compliance.
+var (
+	_ Optimizer = (*SGD)(nil)
+	_ Optimizer = (*Adam)(nil)
+)

@@ -1,0 +1,52 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// modelSpec is the serialised form of a regressor: its architecture plus a
+// flat list of parameter tensors in Params() order.
+type modelSpec struct {
+	Kind   ModelKind   `json:"kind"`
+	In     int         `json:"in"`
+	Hidden int         `json:"hidden"`
+	Out    int         `json:"out"`
+	Params [][]float64 `json:"params"`
+}
+
+// SaveRegressor writes a regressor built by NewRegressor to w as JSON.
+// The architecture hyper-parameters must match those used at construction.
+func SaveRegressor(w io.Writer, model *Sequential, kind ModelKind, in, hidden, out int) error {
+	spec := modelSpec{Kind: kind, In: in, Hidden: hidden, Out: out}
+	for _, p := range model.Params() {
+		spec.Params = append(spec.Params, append([]float64(nil), p.Value...))
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(spec)
+}
+
+// LoadRegressor reads a model saved by SaveRegressor and reconstructs it.
+func LoadRegressor(r io.Reader) (*Sequential, ModelKind, error) {
+	var spec modelSpec
+	if err := json.NewDecoder(r).Decode(&spec); err != nil {
+		return nil, "", fmt.Errorf("nn: decode model: %w", err)
+	}
+	model, err := NewRegressor(spec.Kind, spec.In, spec.Hidden, spec.Out, rand.New(rand.NewSource(0)))
+	if err != nil {
+		return nil, "", err
+	}
+	params := model.Params()
+	if len(params) != len(spec.Params) {
+		return nil, "", fmt.Errorf("nn: model has %d parameter tensors, file has %d", len(params), len(spec.Params))
+	}
+	for i, p := range params {
+		if len(p.Value) != len(spec.Params[i]) {
+			return nil, "", fmt.Errorf("nn: parameter tensor %d has %d values, file has %d", i, len(p.Value), len(spec.Params[i]))
+		}
+		copy(p.Value, spec.Params[i])
+	}
+	return model, spec.Kind, nil
+}

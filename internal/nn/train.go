@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrBadDataset is returned when training data is malformed.
+var ErrBadDataset = errors.New("nn: bad dataset")
+
+// TrainConfig controls the training loop.
+type TrainConfig struct {
+	// Epochs is the number of passes over the data.
+	Epochs int
+	// BatchSize is the minibatch size (gradients are averaged per batch).
+	BatchSize int
+	// LR is the learning rate (Adam).
+	LR float64
+	// Seed drives shuffling.
+	Seed int64
+	// Verbose emits per-epoch losses through Logf when set.
+	Verbose bool
+	// Logf receives progress lines when Verbose (default: discard). Not
+	// serialized when the config is embedded in a saved model.
+	Logf func(format string, args ...any) `json:"-"`
+	// ValX, ValY optionally provide a validation split; when present the
+	// returned history includes validation MSE per epoch. Not serialized.
+	ValX [][]float64 `json:"-"`
+	ValY [][]float64 `json:"-"`
+}
+
+// TrainHistory records per-epoch losses.
+type TrainHistory struct {
+	TrainMSE []float64
+	ValMSE   []float64
+}
+
+// MSE computes the mean squared error of the model over a dataset,
+// averaged over samples and output dimensions.
+func MSE(model *Sequential, xs, ys [][]float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var total float64
+	var count int
+	for i, x := range xs {
+		pred := model.Forward(x)
+		for j, p := range pred {
+			d := p - ys[i][j]
+			total += d * d
+			count++
+		}
+	}
+	return total / float64(count)
+}
+
+// Train fits the model to (xs, ys) with Adam and MSE loss, returning the
+// loss history. xs and ys must be non-empty and congruent.
+func Train(model *Sequential, xs, ys [][]float64, cfg TrainConfig) (TrainHistory, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return TrainHistory{}, fmt.Errorf("%w: %d inputs, %d targets", ErrBadDataset, len(xs), len(ys))
+	}
+	for i := range xs {
+		if len(xs[i]) != len(xs[0]) || len(ys[i]) != len(ys[0]) {
+			return TrainHistory{}, fmt.Errorf("%w: ragged sample %d", ErrBadDataset, i)
+		}
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 50
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 1e-3
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	opt := &Adam{LR: cfg.LR}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	params := model.Params()
+
+	var hist TrainHistory
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		var samples int
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			batch := idx[start:end]
+			invB := 1.0 / float64(len(batch))
+			for _, s := range batch {
+				pred := model.Forward(xs[s])
+				grad := make([]float64, len(pred))
+				for j, p := range pred {
+					d := p - ys[s][j]
+					epochLoss += d * d
+					grad[j] = 2 * d * invB / float64(len(pred))
+				}
+				model.Backward(grad)
+				samples++
+			}
+			opt.Step(params)
+		}
+		trainMSE := epochLoss / float64(samples*len(ys[0]))
+		hist.TrainMSE = append(hist.TrainMSE, trainMSE)
+		if len(cfg.ValX) > 0 {
+			v := MSE(model, cfg.ValX, cfg.ValY)
+			hist.ValMSE = append(hist.ValMSE, v)
+			if cfg.Verbose {
+				logf("epoch %3d: train MSE %.4f, val MSE %.4f", epoch, trainMSE, v)
+			}
+		} else if cfg.Verbose {
+			logf("epoch %3d: train MSE %.4f", epoch, trainMSE)
+		}
+	}
+	return hist, nil
+}

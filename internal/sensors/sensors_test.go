@@ -1,0 +1,251 @@
+package sensors
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"soundboost/internal/mathx"
+)
+
+func TestIMUSampleUnbiasedMean(t *testing.T) {
+	cfg := DefaultIMUConfig()
+	cfg.InitialAccelBias = 0
+	cfg.InitialGyroBias = 0
+	cfg.AccelBiasWalk = 0
+	cfg.GyroBiasWalk = 0
+	imu := NewIMU(cfg, rand.New(rand.NewSource(1)))
+	trueForce := mathx.Vec3{X: 0, Y: 0, Z: -Gravity}
+	trueRate := mathx.Vec3{X: 0.1, Y: -0.2, Z: 0.05}
+	var sumA, sumG mathx.Vec3
+	const n = 5000
+	for i := 0; i < n; i++ {
+		m := imu.Sample(float64(i)/cfg.SampleRate, trueForce, trueRate)
+		sumA = sumA.Add(m.Accel)
+		sumG = sumG.Add(m.Gyro)
+	}
+	meanA := sumA.Scale(1.0 / n)
+	meanG := sumG.Scale(1.0 / n)
+	if meanA.Sub(trueForce).Norm() > 0.01 {
+		t.Errorf("accel mean %v far from true %v", meanA, trueForce)
+	}
+	if meanG.Sub(trueRate).Norm() > 0.001 {
+		t.Errorf("gyro mean %v far from true %v", meanG, trueRate)
+	}
+}
+
+func TestIMUNoiseMagnitude(t *testing.T) {
+	cfg := DefaultIMUConfig()
+	cfg.InitialAccelBias = 0
+	cfg.AccelBiasWalk = 0
+	imu := NewIMU(cfg, rand.New(rand.NewSource(2)))
+	var sumSq float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		m := imu.Sample(float64(i)/cfg.SampleRate, mathx.Vec3{}, mathx.Vec3{})
+		sumSq += m.Accel.X * m.Accel.X
+	}
+	std := math.Sqrt(sumSq / n)
+	if std < cfg.AccelNoiseStd*0.8 || std > cfg.AccelNoiseStd*1.2 {
+		t.Errorf("accel noise std %v, want ~%v", std, cfg.AccelNoiseStd)
+	}
+}
+
+func TestIMUBiasWalkGrows(t *testing.T) {
+	cfg := DefaultIMUConfig()
+	cfg.AccelNoiseStd = 0
+	cfg.InitialAccelBias = 0
+	cfg.AccelBiasWalk = 0.1
+	imu := NewIMU(cfg, rand.New(rand.NewSource(3)))
+	first := imu.Sample(0, mathx.Vec3{}, mathx.Vec3{})
+	var last IMUMeasurement
+	for i := 1; i <= 2000; i++ {
+		last = imu.Sample(float64(i)/cfg.SampleRate, mathx.Vec3{}, mathx.Vec3{})
+	}
+	if last.Accel.Sub(first.Accel).Norm() == 0 {
+		t.Error("bias walk produced no drift")
+	}
+}
+
+func TestIMUDue(t *testing.T) {
+	cfg := DefaultIMUConfig()
+	cfg.SampleRate = 100
+	imu := NewIMU(cfg, rand.New(rand.NewSource(4)))
+	if !imu.Due(0) {
+		t.Error("fresh IMU not due")
+	}
+	imu.Sample(0, mathx.Vec3{}, mathx.Vec3{})
+	if imu.Due(0.005) {
+		t.Error("due only 5ms after a 100 Hz sample")
+	}
+	if !imu.Due(0.010) {
+		t.Error("not due 10ms after a 100 Hz sample")
+	}
+}
+
+type addBiasIMU struct{ bias mathx.Vec3 }
+
+func (a addBiasIMU) InterceptIMU(m IMUMeasurement) IMUMeasurement {
+	m.Accel = m.Accel.Add(a.bias)
+	return m
+}
+
+func TestIMUInterceptor(t *testing.T) {
+	cfg := DefaultIMUConfig()
+	cfg.AccelNoiseStd = 0
+	cfg.InitialAccelBias = 0
+	cfg.AccelBiasWalk = 0
+	imu := NewIMU(cfg, rand.New(rand.NewSource(5)))
+	imu.SetInterceptor(addBiasIMU{bias: mathx.Vec3{Z: 5}})
+	m := imu.Sample(0, mathx.Vec3{}, mathx.Vec3{})
+	if math.Abs(m.Accel.Z-5) > 1e-9 {
+		t.Errorf("intercepted accel Z = %v, want 5", m.Accel.Z)
+	}
+	imu.SetInterceptor(nil)
+	m = imu.Sample(0.01, mathx.Vec3{}, mathx.Vec3{})
+	if m.Accel.Z != 0 {
+		t.Errorf("after clearing interceptor, accel Z = %v, want 0", m.Accel.Z)
+	}
+}
+
+func TestGPSFixNearTruth(t *testing.T) {
+	cfg := DefaultGPSConfig()
+	gps := NewGPS(cfg, rand.New(rand.NewSource(6)))
+	truePos := mathx.Vec3{X: 100, Y: -50, Z: -30}
+	trueVel := mathx.Vec3{X: 2, Y: 1, Z: 0}
+	var sumPosErr, sumVelErr float64
+	const n = 1000
+	for i := 0; i < n; i++ {
+		f := gps.Fix(float64(i)/cfg.SampleRate, truePos, trueVel)
+		if !f.Valid {
+			t.Fatal("fix invalid")
+		}
+		sumPosErr += f.Pos.Sub(truePos).Norm()
+		sumVelErr += f.Vel.Sub(trueVel).Norm()
+	}
+	if mean := sumPosErr / n; mean > 5 {
+		t.Errorf("mean position error %v m too large", mean)
+	}
+	if mean := sumVelErr / n; mean > 1 {
+		t.Errorf("mean velocity error %v m/s too large", mean)
+	}
+}
+
+type shiftGPS struct{ offset mathx.Vec3 }
+
+func (s shiftGPS) InterceptGPS(f GPSFix) GPSFix {
+	f.Pos = f.Pos.Add(s.offset)
+	return f
+}
+
+func TestGPSInterceptor(t *testing.T) {
+	cfg := DefaultGPSConfig()
+	cfg.HorizontalStd = 0
+	cfg.VerticalStd = 0
+	cfg.WalkStd = 0
+	gps := NewGPS(cfg, rand.New(rand.NewSource(7)))
+	gps.SetInterceptor(shiftGPS{offset: mathx.Vec3{X: 10}})
+	f := gps.Fix(0, mathx.Vec3{}, mathx.Vec3{})
+	if math.Abs(f.Pos.X-10) > 1e-9 {
+		t.Errorf("spoofed X = %v, want 10", f.Pos.X)
+	}
+}
+
+func TestGPSDue(t *testing.T) {
+	gps := NewGPS(DefaultGPSConfig(), rand.New(rand.NewSource(8)))
+	if !gps.Due(0) {
+		t.Error("fresh GPS not due")
+	}
+	gps.Fix(0, mathx.Vec3{}, mathx.Vec3{})
+	if gps.Due(0.05) {
+		t.Error("due only 50ms after a 10 Hz fix")
+	}
+	if !gps.Due(0.1) {
+		t.Error("not due 100ms after a 10 Hz fix")
+	}
+}
+
+func TestGPSWanderIsCorrelated(t *testing.T) {
+	cfg := DefaultGPSConfig()
+	cfg.HorizontalStd = 0
+	cfg.VerticalStd = 0
+	cfg.VelStd = 0
+	cfg.WalkStd = 1
+	cfg.WalkTau = 10
+	gps := NewGPS(cfg, rand.New(rand.NewSource(9)))
+	prev := gps.Fix(0, mathx.Vec3{}, mathx.Vec3{})
+	var maxStep float64
+	for i := 1; i < 500; i++ {
+		f := gps.Fix(float64(i)*0.1, mathx.Vec3{}, mathx.Vec3{})
+		if step := f.Pos.Sub(prev.Pos).Norm(); step > maxStep {
+			maxStep = step
+		}
+		prev = f
+	}
+	// Correlated wander moves in small steps, never jumping by sigma at once.
+	if maxStep > 1.0 {
+		t.Errorf("wander step %v too large for correlated process", maxStep)
+	}
+}
+
+func TestCompassHeading(t *testing.T) {
+	c := NewCompass(0.02, rand.New(rand.NewSource(10)))
+	var sum float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		sum += c.Heading(1.0)
+	}
+	if mean := sum / n; math.Abs(mean-1.0) > 0.01 {
+		t.Errorf("heading mean %v, want ~1.0", mean)
+	}
+}
+
+func TestIMUDeterministicWithSeed(t *testing.T) {
+	run := func() []IMUMeasurement {
+		imu := NewIMU(DefaultIMUConfig(), rand.New(rand.NewSource(42)))
+		out := make([]IMUMeasurement, 10)
+		for i := range out {
+			out[i] = imu.Sample(float64(i)*0.005, mathx.Vec3{Z: -Gravity}, mathx.Vec3{})
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestIMUVibrationRectificationBias(t *testing.T) {
+	cfg := DefaultIMUConfig()
+	cfg.AccelNoiseStd = 0
+	cfg.InitialAccelBias = 0
+	cfg.AccelBiasWalk = 0
+	cfg.VibRectCoeff = 0.5
+	imu := NewIMU(cfg, rand.New(rand.NewSource(11)))
+
+	// At the hover reference level (1) there is no rectification bias.
+	imu.SetVibration(1)
+	m := imu.Sample(0, mathx.Vec3{}, mathx.Vec3{})
+	if m.Accel.Norm() > 1e-9 {
+		t.Errorf("bias at hover vibration = %v, want 0", m.Accel)
+	}
+	// Above hover the bias grows along the (mostly thrust-axis) vib axis.
+	imu.SetVibration(1.4)
+	m = imu.Sample(0.01, mathx.Vec3{}, mathx.Vec3{})
+	if got := m.Accel.Norm(); math.Abs(got-0.5*0.4) > 1e-9 {
+		t.Errorf("bias magnitude = %v, want %v", got, 0.5*0.4)
+	}
+	if m.Accel.Z <= 0 {
+		t.Errorf("vibration bias z = %v, want dominant positive component", m.Accel.Z)
+	}
+	// Disabling the coefficient removes the effect entirely.
+	cfg.VibRectCoeff = 0
+	clean := NewIMU(cfg, rand.New(rand.NewSource(11)))
+	clean.SetVibration(2)
+	m = clean.Sample(0, mathx.Vec3{}, mathx.Vec3{})
+	if m.Accel.Norm() != 0 {
+		t.Errorf("bias with zero coefficient = %v", m.Accel)
+	}
+}

@@ -1,0 +1,324 @@
+package sim
+
+import (
+	"math"
+
+	"soundboost/internal/mathx"
+)
+
+// PID is a scalar proportional-integral-derivative controller with
+// integrator clamping and an output limit.
+type PID struct {
+	// Kp, Ki, Kd are the standard gains.
+	Kp, Ki, Kd float64
+	// IntLimit bounds the absolute value of the integral term contribution.
+	IntLimit float64
+	// OutLimit bounds the absolute output (0 disables the bound).
+	OutLimit float64
+
+	integral float64
+	prevErr  float64
+	havePrev bool
+}
+
+// Update advances the controller by dt with the given error and returns the
+// control output.
+func (p *PID) Update(err, dt float64) float64 {
+	p.integral += err * dt
+	if p.Ki > 0 && p.IntLimit > 0 {
+		bound := p.IntLimit / p.Ki
+		p.integral = mathx.Clamp(p.integral, -bound, bound)
+	}
+	var deriv float64
+	if p.havePrev && dt > 0 {
+		deriv = (err - p.prevErr) / dt
+	}
+	p.prevErr = err
+	p.havePrev = true
+	out := p.Kp*err + p.Ki*p.integral + p.Kd*deriv
+	if p.OutLimit > 0 {
+		out = mathx.Clamp(out, -p.OutLimit, p.OutLimit)
+	}
+	return out
+}
+
+// Reset clears the integrator and derivative history.
+func (p *PID) Reset() {
+	p.integral = 0
+	p.prevErr = 0
+	p.havePrev = false
+}
+
+// PIDVec3 bundles three independent scalar PIDs for vector signals.
+type PIDVec3 struct {
+	X, Y, Z PID
+}
+
+// NewPIDVec3 builds a PIDVec3 with identical gains on all axes.
+func NewPIDVec3(kp, ki, kd, intLimit, outLimit float64) PIDVec3 {
+	mk := func() PID { return PID{Kp: kp, Ki: ki, Kd: kd, IntLimit: intLimit, OutLimit: outLimit} }
+	return PIDVec3{X: mk(), Y: mk(), Z: mk()}
+}
+
+// Update advances all three axes.
+func (p *PIDVec3) Update(err mathx.Vec3, dt float64) mathx.Vec3 {
+	return mathx.Vec3{
+		X: p.X.Update(err.X, dt),
+		Y: p.Y.Update(err.Y, dt),
+		Z: p.Z.Update(err.Z, dt),
+	}
+}
+
+// Reset clears all three axes.
+func (p *PIDVec3) Reset() {
+	p.X.Reset()
+	p.Y.Reset()
+	p.Z.Reset()
+}
+
+// Setpoint is the navigation target handed to the controller each step.
+type Setpoint struct {
+	// Pos is the desired NED position (m).
+	Pos mathx.Vec3
+	// VelFF is an optional velocity feed-forward (m/s).
+	VelFF mathx.Vec3
+	// Yaw is the desired heading (rad).
+	Yaw float64
+}
+
+// ControllerConfig holds the cascade gains. Defaults are tuned for the
+// DefaultVehicleConfig airframe and verified by the hover/waypoint tests.
+type ControllerConfig struct {
+	PosP       float64 // position error -> velocity setpoint
+	MaxVel     float64 // m/s horizontal velocity limit
+	MaxVertVel float64 // m/s vertical velocity limit
+	VelP       float64
+	VelI       float64
+	VelD       float64
+	MaxTilt    float64 // rad
+	AttP       float64 // attitude error -> body rate setpoint
+	MaxRate    float64 // rad/s
+	RateP      float64
+	RateI      float64
+	RateD      float64
+	YawP       float64
+	MaxYawRate float64
+}
+
+// DefaultControllerConfig returns the tuned cascade gains.
+func DefaultControllerConfig() ControllerConfig {
+	return ControllerConfig{
+		PosP:       1.1,
+		MaxVel:     6.0,
+		MaxVertVel: 3.0,
+		VelP:       2.6,
+		VelI:       0.6,
+		VelD:       0.08,
+		MaxTilt:    0.45,
+		AttP:       7.0,
+		MaxRate:    3.5,
+		RateP:      0.12,
+		RateI:      0.05,
+		RateD:      0.003,
+		YawP:       2.5,
+		MaxYawRate: 1.5,
+	}
+}
+
+// Controller is the cascaded flight controller: position P -> velocity PID
+// -> attitude P -> body-rate PID -> motor mixer, the structure used by
+// PX4-class autopilots (paper §II-A).
+type Controller struct {
+	vehicle VehicleConfig
+	cfg     ControllerConfig
+	velPID  PIDVec3
+	ratePID PIDVec3
+}
+
+// NewController builds a controller for the given airframe.
+func NewController(vehicle VehicleConfig, cfg ControllerConfig) *Controller {
+	return &Controller{
+		vehicle: vehicle,
+		cfg:     cfg,
+		velPID:  NewPIDVec3(cfg.VelP, cfg.VelI, cfg.VelD, 3.0, 0),
+		ratePID: NewPIDVec3(cfg.RateP, cfg.RateI, cfg.RateD, 0.3, 0),
+	}
+}
+
+// Reset clears all integrators (used on arming).
+func (c *Controller) Reset() {
+	c.velPID.Reset()
+	c.ratePID.Reset()
+}
+
+// NavState is the controller's view of the vehicle — the *estimated* state
+// from the navigation filter, not ground truth. Sensor attacks corrupt this
+// view, which is exactly how they bend the flight path.
+type NavState struct {
+	Pos   mathx.Vec3
+	Vel   mathx.Vec3
+	Att   mathx.Quat
+	GyroW mathx.Vec3 // body angular velocity as measured by the gyro
+}
+
+// Update runs one control step and returns per-motor speed commands (rad/s).
+func (c *Controller) Update(nav NavState, sp Setpoint, dt float64) [NumMotors]float64 {
+	cfg := c.cfg
+	v := c.vehicle
+
+	// --- Position loop: P controller to a velocity setpoint.
+	posErr := sp.Pos.Sub(nav.Pos)
+	velSp := posErr.Scale(cfg.PosP).Add(sp.VelFF)
+	// Limit horizontal and vertical speed separately.
+	h := math.Hypot(velSp.X, velSp.Y)
+	if h > cfg.MaxVel {
+		scale := cfg.MaxVel / h
+		velSp.X *= scale
+		velSp.Y *= scale
+	}
+	velSp.Z = mathx.Clamp(velSp.Z, -cfg.MaxVertVel, cfg.MaxVertVel)
+
+	// --- Velocity loop: PID to a desired world acceleration.
+	accSp := c.velPID.Update(velSp.Sub(nav.Vel), dt)
+
+	// --- Acceleration to thrust vector and attitude setpoint.
+	// Desired specific thrust (world) must cancel gravity: f = a_sp - g.
+	fWorld := accSp.Sub(mathx.Vec3{Z: gravity})
+	// The commanded thrust direction is -f normalized... thrust acts along
+	// -z body, so the desired body z axis is -f/|f|.
+	fMag := fWorld.Norm()
+	if fMag < 1e-6 {
+		fWorld = mathx.Vec3{Z: -gravity}
+		fMag = gravity
+	}
+	zDes := fWorld.Scale(-1 / fMag)
+
+	// Limit tilt: the angle between desired body z and world down (-z up in
+	// NED means body z points to +z when level... body z desired for hover
+	// is (0,0,1)). zDes.Z close to 1 means level.
+	if zDes.Z < math.Cos(cfg.MaxTilt) {
+		// Pull the vector toward vertical while keeping its heading.
+		horiz := math.Hypot(zDes.X, zDes.Y)
+		if horiz > 1e-9 {
+			maxHoriz := math.Sin(cfg.MaxTilt)
+			scale := maxHoriz / horiz
+			zDes.X *= scale
+			zDes.Y *= scale
+			zDes.Z = math.Cos(cfg.MaxTilt)
+		}
+	}
+
+	// Build the desired attitude from zDes and the yaw setpoint.
+	attSp := attitudeFromZAndYaw(zDes, sp.Yaw)
+
+	// Total thrust command: project desired force onto the actual body z
+	// axis so thrust tracks while attitude converges.
+	bodyZ := nav.Att.Rotate(mathx.Vec3{Z: 1})
+	thrust := v.Mass * fMag * math.Max(0.3, bodyZ.Neg().Dot(zDes.Neg()))
+
+	// --- Attitude loop: quaternion error P controller to body rates.
+	attErr := nav.Att.Conj().Mul(attSp)
+	if attErr.W < 0 { // take the short way around
+		attErr = mathx.Quat{W: -attErr.W, X: -attErr.X, Y: -attErr.Y, Z: -attErr.Z}
+	}
+	rateSp := mathx.Vec3{X: attErr.X, Y: attErr.Y, Z: attErr.Z}.Scale(2 * cfg.AttP)
+	rateSp = rateSp.Clamp(-cfg.MaxRate, cfg.MaxRate)
+	rateSp.Z = mathx.Clamp(rateSp.Z, -cfg.MaxYawRate, cfg.MaxYawRate)
+
+	// --- Rate loop: PID to body torques.
+	torque := c.ratePID.Update(rateSp.Sub(nav.GyroW), dt)
+	torque = mathx.Vec3{
+		X: torque.X * v.Inertia.X / 0.02, // normalize gains across airframes
+		Y: torque.Y * v.Inertia.Y / 0.02,
+		Z: torque.Z * v.Inertia.Z / 0.02,
+	}
+
+	return c.mix(thrust, torque)
+}
+
+// mix inverts the quad-X geometry to per-motor thrusts and converts to
+// rotor speed commands. It matches the torque model in Dynamics.Step:
+// tau_x = -sum(y_i f_i), tau_y = sum(x_i f_i), tau_z = sum(s_i kQ w_i^2).
+func (c *Controller) mix(thrust float64, torque mathx.Vec3) [NumMotors]float64 {
+	v := c.vehicle
+	d := v.ArmLength / math.Sqrt2
+	kc := v.TorqueCoeff / v.ThrustCoeff // yaw torque per unit thrust
+
+	f := [NumMotors]float64{
+		thrust/4 - torque.X/(4*d) + torque.Y/(4*d) + torque.Z/(4*kc),
+		thrust/4 + torque.X/(4*d) - torque.Y/(4*d) + torque.Z/(4*kc),
+		thrust/4 + torque.X/(4*d) + torque.Y/(4*d) - torque.Z/(4*kc),
+		thrust/4 - torque.X/(4*d) - torque.Y/(4*d) - torque.Z/(4*kc),
+	}
+	var cmd [NumMotors]float64
+	for i, fi := range f {
+		if fi < 0 {
+			fi = 0
+		}
+		w := math.Sqrt(fi / v.ThrustCoeff)
+		cmd[i] = mathx.Clamp(w, v.MinMotorSpeed, v.MaxMotorSpeed)
+	}
+	return cmd
+}
+
+// attitudeFromZAndYaw constructs the attitude whose body z axis equals zDes
+// (unit vector, world frame) and whose heading is yaw.
+func attitudeFromZAndYaw(zDes mathx.Vec3, yaw float64) mathx.Quat {
+	// Desired x axis: heading direction projected onto the plane normal to z.
+	xC := mathx.Vec3{X: math.Cos(yaw), Y: math.Sin(yaw)}
+	yB := zDes.Cross(xC)
+	n := yB.Norm()
+	if n < 1e-9 {
+		// zDes parallel to heading vector (pathological); fall back to level.
+		return mathx.QuatFromEuler(0, 0, yaw)
+	}
+	yB = yB.Scale(1 / n)
+	xB := yB.Cross(zDes)
+	// Rotation matrix with columns xB, yB, zDes -> quaternion.
+	return quatFromMatrixColumns(xB, yB, zDes)
+}
+
+// quatFromMatrixColumns converts a rotation matrix given by its column
+// vectors into a quaternion (Shepperd's method).
+func quatFromMatrixColumns(x, y, z mathx.Vec3) mathx.Quat {
+	m00, m01, m02 := x.X, y.X, z.X
+	m10, m11, m12 := x.Y, y.Y, z.Y
+	m20, m21, m22 := x.Z, y.Z, z.Z
+	trace := m00 + m11 + m22
+	var q mathx.Quat
+	switch {
+	case trace > 0:
+		s := math.Sqrt(trace+1) * 2
+		q = mathx.Quat{
+			W: s / 4,
+			X: (m21 - m12) / s,
+			Y: (m02 - m20) / s,
+			Z: (m10 - m01) / s,
+		}
+	case m00 > m11 && m00 > m22:
+		s := math.Sqrt(1+m00-m11-m22) * 2
+		q = mathx.Quat{
+			W: (m21 - m12) / s,
+			X: s / 4,
+			Y: (m01 + m10) / s,
+			Z: (m02 + m20) / s,
+		}
+	case m11 > m22:
+		s := math.Sqrt(1+m11-m00-m22) * 2
+		q = mathx.Quat{
+			W: (m02 - m20) / s,
+			X: (m01 + m10) / s,
+			Y: s / 4,
+			Z: (m12 + m21) / s,
+		}
+	default:
+		s := math.Sqrt(1+m22-m00-m11) * 2
+		q = mathx.Quat{
+			W: (m10 - m01) / s,
+			X: (m02 + m20) / s,
+			Y: (m12 + m21) / s,
+			Z: s / 4,
+		}
+	}
+	return q.Normalized()
+}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"math"
+
+	"soundboost/internal/mathx"
+	"soundboost/internal/sensors"
+)
+
+// Estimator is the autopilot's onboard navigation filter: a complementary
+// filter that dead-reckons attitude and velocity from the IMU at high rate
+// and corrects position/velocity toward GPS fixes and tilt toward the
+// accelerometer's gravity direction. It deliberately trusts its sensors,
+// which is what makes GPS spoofing and IMU biasing effective against the
+// vehicle — exactly the vulnerability SoundBoost diagnoses post hoc.
+type Estimator struct {
+	// gains
+	tiltGain float64 // accelerometer tilt correction gain
+	yawGain  float64 // compass correction gain
+	posGain  float64 // GPS position correction gain
+	velGain  float64 // GPS velocity correction gain
+	// innovation gates: GPS corrections are clamped to these magnitudes
+	// per fix, mirroring the innovation gating of PX4's EKF. Gating keeps
+	// a spoofed fix from instantaneously teleporting the estimate, which
+	// bounds (but does not prevent) attack-induced drift.
+	posGate float64 // m
+	velGate float64 // m/s
+
+	nav     NavState
+	accBody mathx.Vec3 // last IMU specific force
+	init    bool
+}
+
+// NewEstimator builds the filter with standard complementary gains.
+func NewEstimator() *Estimator {
+	return &Estimator{
+		tiltGain: 1.0,
+		yawGain:  1.0,
+		posGain:  2.0,
+		velGain:  3.0,
+		posGate:  4.0,
+		velGate:  2.0,
+	}
+}
+
+// Init seeds the filter with a known starting state (pre-arm alignment).
+func (e *Estimator) Init(pos, vel mathx.Vec3, att mathx.Quat) {
+	e.nav = NavState{Pos: pos, Vel: vel, Att: att}
+	e.init = true
+}
+
+// Nav returns the current state estimate.
+func (e *Estimator) Nav() NavState { return e.nav }
+
+// PredictIMU advances the estimate by dt using an IMU measurement. This is
+// the high-rate path (every IMU sample).
+func (e *Estimator) PredictIMU(m sensors.IMUMeasurement, dt float64) {
+	if !e.init {
+		e.Init(mathx.Vec3{}, mathx.Vec3{}, mathx.IdentityQuat())
+	}
+	e.accBody = m.Accel
+	e.nav.GyroW = m.Gyro
+
+	// Attitude: integrate gyro, then nudge tilt toward the accelerometer's
+	// gravity direction when the specific force magnitude is near 1 g
+	// (i.e. the vehicle is not aggressively accelerating).
+	e.nav.Att = e.nav.Att.Integrate(m.Gyro, dt)
+	fMag := m.Accel.Norm()
+	if fMag > 0.8*sensors.Gravity && fMag < 1.2*sensors.Gravity {
+		// Accelerometer's view of "down" in body frame is -accel direction.
+		downBody := m.Accel.Scale(-1 / fMag)
+		predDown := e.nav.Att.RotateInv(mathx.Vec3{Z: 1})
+		// Body-rate correction that rotates predDown toward downBody: with
+		// q <- q*exp(w dt), predDown evolves as predDown - dt*(w x predDown),
+		// so w = downBody x predDown moves it the right way.
+		corrRate := downBody.Cross(predDown).Scale(e.tiltGain)
+		e.nav.Att = e.nav.Att.Integrate(corrRate, dt)
+	}
+
+	// Velocity & position dead reckoning: rotate specific force to world,
+	// add gravity back.
+	accWorld := e.nav.Att.Rotate(m.Accel).Add(mathx.Vec3{Z: sensors.Gravity})
+	e.nav.Vel = e.nav.Vel.Add(accWorld.Scale(dt))
+	e.nav.Pos = e.nav.Pos.Add(e.nav.Vel.Scale(dt))
+}
+
+// CorrectGPS blends a GPS fix into the estimate. This is the low-rate path
+// (every fix). dt is the time since the previous correction. Innovations
+// larger than the gates are clamped (partial trust), like a real EKF.
+func (e *Estimator) CorrectGPS(f sensors.GPSFix, dt float64) {
+	if !f.Valid {
+		return
+	}
+	a := mathx.Clamp(e.posGain*dt, 0, 1)
+	b := mathx.Clamp(e.velGain*dt, 0, 1)
+	posInnov := gateVec(f.Pos.Sub(e.nav.Pos), e.posGate)
+	velInnov := gateVec(f.Vel.Sub(e.nav.Vel), e.velGate)
+	e.nav.Pos = e.nav.Pos.Add(posInnov.Scale(a))
+	e.nav.Vel = e.nav.Vel.Add(velInnov.Scale(b))
+}
+
+// gateVec clamps a vector's magnitude to gate (0 disables gating).
+func gateVec(v mathx.Vec3, gate float64) mathx.Vec3 {
+	if gate <= 0 {
+		return v
+	}
+	n := v.Norm()
+	if n <= gate {
+		return v
+	}
+	return v.Scale(gate / n)
+}
+
+// CorrectYaw blends a compass heading (radians) into the attitude estimate.
+func (e *Estimator) CorrectYaw(heading float64, dt float64) {
+	roll, pitch, yaw := e.nav.Att.Euler()
+	diff := wrapAngle(heading - yaw)
+	yaw += mathx.Clamp(e.yawGain*dt, 0, 1) * diff
+	e.nav.Att = mathx.QuatFromEuler(roll, pitch, yaw)
+}
+
+func wrapAngle(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a < -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"soundboost/internal/mathx"
+)
+
+// Mission produces the position/yaw setpoint stream the controller follows.
+type Mission interface {
+	// Setpoint returns the navigation target at time t (seconds from
+	// mission start).
+	Setpoint(t float64) Setpoint
+	// Duration returns the nominal mission length in seconds.
+	Duration() float64
+	// Name identifies the mission in logs and reports.
+	Name() string
+}
+
+// HoverMission holds position at a fixed point.
+type HoverMission struct {
+	// Point is the hover location in NED (Z negative above ground).
+	Point mathx.Vec3
+	// Seconds is the hover duration.
+	Seconds float64
+	// Heading is the yaw to hold (rad).
+	Heading float64
+}
+
+// Setpoint implements Mission.
+func (m HoverMission) Setpoint(t float64) Setpoint {
+	return Setpoint{Pos: m.Point, Yaw: m.Heading}
+}
+
+// Duration implements Mission.
+func (m HoverMission) Duration() float64 { return m.Seconds }
+
+// Name implements Mission.
+func (m HoverMission) Name() string { return "hover" }
+
+// Waypoint is a single mission leg target.
+type Waypoint struct {
+	// Pos is the NED target (m).
+	Pos mathx.Vec3
+	// Speed is the cruise speed toward the target (m/s).
+	Speed float64
+	// HoldSeconds pauses at the waypoint before the next leg.
+	HoldSeconds float64
+}
+
+// WaypointMission flies a sequence of legs with trapezoidal timing: the
+// setpoint moves along each leg at the waypoint speed, then holds.
+type WaypointMission struct {
+	// Start is the initial position.
+	Start mathx.Vec3
+	// Points are the successive targets.
+	Points []Waypoint
+	// MissionName labels the mission.
+	MissionName string
+
+	legs []leg
+}
+
+type leg struct {
+	from, to mathx.Vec3
+	startT   float64
+	travelT  float64
+	holdT    float64
+	yaw      float64
+}
+
+// NewWaypointMission precomputes leg timing. Waypoints with non-positive
+// speed default to 3 m/s.
+func NewWaypointMission(name string, start mathx.Vec3, points []Waypoint) *WaypointMission {
+	m := &WaypointMission{Start: start, Points: points, MissionName: name}
+	cur := start
+	t := 0.0
+	for _, wp := range points {
+		speed := wp.Speed
+		if speed <= 0 {
+			speed = 3
+		}
+		dist := wp.Pos.Sub(cur).Norm()
+		travel := dist / speed
+		yaw := 0.0
+		d := wp.Pos.Sub(cur)
+		if math.Hypot(d.X, d.Y) > 0.5 {
+			yaw = math.Atan2(d.Y, d.X)
+		}
+		m.legs = append(m.legs, leg{
+			from:    cur,
+			to:      wp.Pos,
+			startT:  t,
+			travelT: travel,
+			holdT:   wp.HoldSeconds,
+			yaw:     yaw,
+		})
+		t += travel + wp.HoldSeconds
+		cur = wp.Pos
+	}
+	return m
+}
+
+// Setpoint implements Mission.
+func (m *WaypointMission) Setpoint(t float64) Setpoint {
+	if len(m.legs) == 0 {
+		return Setpoint{Pos: m.Start}
+	}
+	for i, l := range m.legs {
+		end := l.startT + l.travelT + l.holdT
+		if t < end || i == len(m.legs)-1 {
+			if t >= l.startT+l.travelT {
+				return Setpoint{Pos: l.to, Yaw: l.yaw}
+			}
+			frac := 0.0
+			if l.travelT > 0 {
+				frac = (t - l.startT) / l.travelT
+			}
+			frac = mathx.Clamp(frac, 0, 1)
+			dir := l.to.Sub(l.from)
+			var ff mathx.Vec3
+			if l.travelT > 0 {
+				ff = dir.Scale(1 / l.travelT)
+			}
+			return Setpoint{Pos: l.from.Lerp(l.to, frac), VelFF: ff, Yaw: l.yaw}
+		}
+	}
+	last := m.legs[len(m.legs)-1]
+	return Setpoint{Pos: last.to, Yaw: last.yaw}
+}
+
+// Duration implements Mission.
+func (m *WaypointMission) Duration() float64 {
+	if len(m.legs) == 0 {
+		return 0
+	}
+	last := m.legs[len(m.legs)-1]
+	return last.startT + last.travelT + last.holdT
+}
+
+// Name implements Mission.
+func (m *WaypointMission) Name() string { return m.MissionName }
+
+// Verify interface compliance.
+var (
+	_ Mission = HoverMission{}
+	_ Mission = (*WaypointMission)(nil)
+)
+
+// StandardMissions returns the six extended navigation scenario families
+// used to build the paper's 36-flight training corpus: hover, ascent/descent
+// column, forward dash, square patrol, lawnmower sweep, and a mixed-turn
+// circuit. The variant index perturbs geometry so repeated flights differ.
+func StandardMissions(variant int) []Mission {
+	alt := -8.0 - float64(variant%3)*2 // 8-12 m AGL
+	s := 6.0 + float64(variant%4)*2    // leg scale
+	v := 2.0 + float64(variant%3)      // cruise speed
+	hover := HoverMission{Point: mathx.Vec3{Z: alt}, Seconds: 24, Heading: 0}
+	column := NewWaypointMission("column", mathx.Vec3{Z: alt}, []Waypoint{
+		{Pos: mathx.Vec3{Z: alt - 6}, Speed: v, HoldSeconds: 2},
+		{Pos: mathx.Vec3{Z: alt}, Speed: v, HoldSeconds: 2},
+		{Pos: mathx.Vec3{Z: alt - 4}, Speed: v / 2, HoldSeconds: 2},
+	})
+	dash := NewWaypointMission("dash", mathx.Vec3{Z: alt}, []Waypoint{
+		{Pos: mathx.Vec3{X: 2 * s, Z: alt}, Speed: v + 1, HoldSeconds: 1},
+		{Pos: mathx.Vec3{Z: alt}, Speed: v + 1, HoldSeconds: 1},
+	})
+	square := NewWaypointMission("square", mathx.Vec3{Z: alt}, []Waypoint{
+		{Pos: mathx.Vec3{X: s, Z: alt}, Speed: v, HoldSeconds: 1},
+		{Pos: mathx.Vec3{X: s, Y: s, Z: alt}, Speed: v, HoldSeconds: 1},
+		{Pos: mathx.Vec3{Y: s, Z: alt}, Speed: v, HoldSeconds: 1},
+		{Pos: mathx.Vec3{Z: alt}, Speed: v, HoldSeconds: 1},
+	})
+	sweep := NewWaypointMission("sweep", mathx.Vec3{Z: alt}, []Waypoint{
+		{Pos: mathx.Vec3{X: s, Z: alt}, Speed: v},
+		{Pos: mathx.Vec3{X: s, Y: s / 2, Z: alt}, Speed: v / 2},
+		{Pos: mathx.Vec3{Y: s / 2, Z: alt}, Speed: v},
+		{Pos: mathx.Vec3{Y: s, Z: alt}, Speed: v / 2},
+		{Pos: mathx.Vec3{X: s, Y: s, Z: alt}, Speed: v},
+	})
+	circuit := NewWaypointMission("circuit", mathx.Vec3{Z: alt}, []Waypoint{
+		{Pos: mathx.Vec3{X: s, Y: -s / 2, Z: alt - 2}, Speed: v},
+		{Pos: mathx.Vec3{X: s / 2, Y: s, Z: alt}, Speed: v + 1},
+		{Pos: mathx.Vec3{X: -s / 3, Y: s / 2, Z: alt - 1}, Speed: v},
+		{Pos: mathx.Vec3{Z: alt}, Speed: v, HoldSeconds: 2},
+	})
+	return []Mission{hover, column, dash, square, sweep, circuit}
+}
+
+// MissionByName returns a standard mission by name, for CLI tools.
+func MissionByName(name string, variant int) (Mission, error) {
+	for _, m := range StandardMissions(variant) {
+		if m.Name() == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("sim: unknown mission %q", name)
+}
