@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race bench verify fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+fmt:
+	gofmt -w .
+
+# Full gate: gofmt -l (fails on output), go vet, build, race-enabled tests.
+verify:
+	sh scripts/verify.sh

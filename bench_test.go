@@ -13,6 +13,7 @@
 package bench
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -20,6 +21,7 @@ import (
 	"soundboost/internal/dataset"
 	"soundboost/internal/experiments"
 	"soundboost/internal/mathx"
+	"soundboost/internal/parallel"
 	"soundboost/internal/sim"
 )
 
@@ -230,6 +232,36 @@ func BenchmarkSignatureExtraction(b *testing.B) {
 		}
 	}
 }
+
+// benchBuildWindows measures the per-flight window-building fan-out under
+// a fixed worker count (1 = the serial reference path).
+func benchBuildWindows(b *testing.B, workers int) {
+	l := benchLab(b)
+	f := quickFlight(b)
+	sig := l.Model.Config().Signature
+	prev := parallel.DefaultWorkers()
+	parallel.SetDefaultWorkers(workers)
+	defer parallel.SetDefaultWorkers(prev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		windows, err := soundboost.BuildWindows(f, sig, 0, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(windows) == 0 {
+			b.Fatal("no windows")
+		}
+	}
+}
+
+// BenchmarkBuildWindowsSerial is the workers=1 reference.
+func BenchmarkBuildWindowsSerial(b *testing.B) { benchBuildWindows(b, 1) }
+
+// BenchmarkBuildWindowsParallel fans windows out over all cores; on a
+// multi-core host the speedup over the serial variant tracks the core
+// count (window extraction dominates the pipeline).
+func BenchmarkBuildWindowsParallel(b *testing.B) { benchBuildWindows(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkModelPredict measures one signature -> acceleration inference.
 func BenchmarkModelPredict(b *testing.B) {

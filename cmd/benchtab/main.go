@@ -20,6 +20,7 @@ import (
 
 	"soundboost/internal/dataset"
 	"soundboost/internal/experiments"
+	"soundboost/internal/parallel"
 )
 
 func main() {
@@ -35,8 +36,10 @@ func run() error {
 		runs      = flag.String("run", "all", "comma-separated experiment list")
 		verbose   = flag.Bool("v", false, "stream progress")
 		csvDir    = flag.String("csv", "", "directory to export figure data as CSV (empty = no export)")
+		workers   = flag.Int("workers", 0, "worker-pool size for parallel stages (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
+	parallel.SetDefaultWorkers(*workers)
 
 	var scale experiments.Scale
 	switch *scaleName {

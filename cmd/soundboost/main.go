@@ -27,6 +27,7 @@ import (
 	"soundboost/internal/acoustics"
 	soundboost "soundboost/internal/core"
 	"soundboost/internal/dataset"
+	"soundboost/internal/parallel"
 	"soundboost/internal/sim"
 )
 
@@ -87,10 +88,12 @@ func runTrain(args []string) error {
 		hidden    = fs.Int("hidden", 64, "regressor width")
 		epochs    = fs.Int("epochs", 60, "training epochs")
 		augment   = fs.Float64("augment", 5, "time-shift augmentation factor (0 = none)")
+		workers   = fs.Int("workers", 0, "worker-pool size for parallel stages (0 = GOMAXPROCS, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	parallel.SetDefaultWorkers(*workers)
 	flights, err := loadFlightDir(*flightDir)
 	if err != nil {
 		return err
@@ -148,10 +151,12 @@ func runCalibrate(args []string) error {
 		modelPath = fs.String("model", "model.json", "trained model path")
 		calibDir  = fs.String("calib", "flights", "directory of benign calibration flights")
 		outPath   = fs.String("out", "analyzer.json", "output analyzer path")
+		workers   = fs.Int("workers", 0, "worker-pool size for parallel stages (0 = GOMAXPROCS, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	parallel.SetDefaultWorkers(*workers)
 	analyzer, err := buildAnalyzer(*modelPath, *calibDir)
 	if err != nil {
 		return err
@@ -207,10 +212,12 @@ func runRCA(args []string) error {
 		modelPath    = fs.String("model", "model.json", "trained model path (when no -analyzer)")
 		calibDir     = fs.String("calib", "flights", "directory of benign calibration flights (when no -analyzer)")
 		flightPath   = fs.String("flight", "", "flight to analyse (.sbf)")
+		workers      = fs.Int("workers", 0, "worker-pool size for parallel stages (0 = GOMAXPROCS, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	parallel.SetDefaultWorkers(*workers)
 	if *flightPath == "" {
 		return fmt.Errorf("-flight is required")
 	}

@@ -75,18 +75,18 @@ func main() {
 		{
 			"gyroscope side-swing (rocking)",
 			&attack.IMUBiaser{
-				Window: attack.Window{Start: 5, End: 11},
-				Mode:   attack.IMUSideSwing,
-				Axis:   mathx.Vec3{X: 1},
+				Window:    attack.Window{Start: 5, End: 11},
+				Mode:      attack.IMUSideSwing,
+				Axis:      mathx.Vec3{X: 1},
 				Magnitude: 1.2, RampSeconds: 1, OscillateHz: 0.9,
 			},
 		},
 		{
 			"accelerometer DoS (random injection)",
 			&attack.IMUBiaser{
-				Window: attack.Window{Start: 5, End: 11},
-				Mode:   attack.IMUAccelDoS,
-				Axis:   mathx.Vec3{Z: 1},
+				Window:    attack.Window{Start: 5, End: 11},
+				Mode:      attack.IMUAccelDoS,
+				Axis:      mathx.Vec3{Z: 1},
 				Magnitude: 3, Rng: rand.New(rand.NewSource(77)),
 			},
 		},

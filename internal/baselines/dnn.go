@@ -109,7 +109,7 @@ func NewDNN(benign []*dataset.Flight, cfg DNNConfig) (*DNN, error) {
 	// Threshold from training-set errors (the method's own weakness).
 	var errs []float64
 	for i, s := range seqs {
-		pred := l.Forward(s)
+		pred := l.Infer(s)
 		var e float64
 		for j, p := range pred {
 			d := p - targets[i][j]
@@ -137,7 +137,7 @@ func (b *DNN) Detect(f *dataset.Flight) (Verdict, error) {
 	consecutive := 0
 	start := f.Telemetry[0].Time
 	for i := 0; i+b.cfg.SeqLen < len(rows); i++ {
-		pred := b.lstm.Forward(rows[i : i+b.cfg.SeqLen])
+		pred := b.lstm.Infer(rows[i : i+b.cfg.SeqLen])
 		var e float64
 		for j, p := range pred {
 			d := p - rows[i+b.cfg.SeqLen][j]

@@ -128,8 +128,12 @@ func TestSignatureConfigValidate(t *testing.T) {
 	}{
 		{"zero window", func(c *SignatureConfig) { c.WindowSeconds = 0 }},
 		{"zero hop", func(c *SignatureConfig) { c.HopSeconds = 0 }},
+		{"hop exceeds window", func(c *SignatureConfig) { c.HopSeconds = c.WindowSeconds * 2 }},
 		{"zero subframes", func(c *SignatureConfig) { c.SubFrames = 0 }},
 		{"no bands", func(c *SignatureConfig) { c.Bands = nil }},
+		{"inverted band", func(c *SignatureConfig) { c.Bands[0].Low, c.Bands[0].High = c.Bands[0].High, c.Bands[0].Low }},
+		{"empty band", func(c *SignatureConfig) { c.Bands[1].High = c.Bands[1].Low }},
+		{"negative band edge", func(c *SignatureConfig) { c.Bands[0].Low = -5 }},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

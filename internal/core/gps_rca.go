@@ -6,6 +6,7 @@ import (
 	"soundboost/internal/dataset"
 	"soundboost/internal/kalman"
 	"soundboost/internal/mathx"
+	"soundboost/internal/parallel"
 	"soundboost/internal/sensors"
 	"soundboost/internal/stats"
 )
@@ -132,15 +133,18 @@ func (d *GPSDetector) runFlight(f *dataset.Flight) (*GPSTrace, error) {
 		imuNED   mathx.Vec3
 		gpsVel   mathx.Vec3
 	}
-	var obs []windowObs
-	for _, t0 := range starts {
+	// Observation building (feature extraction + prediction per window) is
+	// embarrassingly parallel; only the KF recursion below is sequential.
+	// Results keep window order, so the trace matches the serial loop.
+	perWindow := parallel.Map(0, len(starts), func(i int) *windowObs {
+		t0 := starts[i]
 		feat := windowFeatures(ex, f, t0, win)
 		if feat == nil {
-			continue
+			return nil
 		}
 		tel := f.TelemetryBetween(t0, t0+win)
 		if len(tel) == 0 {
-			continue
+			return nil
 		}
 		// Mean attitude/IMU/GPS over the window.
 		att := tel[len(tel)/2].EstAtt
@@ -157,12 +161,18 @@ func (d *GPSDetector) runFlight(f *dataset.Flight) (*GPSTrace, error) {
 		for _, s := range tel {
 			gpsSum = gpsSum.Add(s.GPSVel)
 		}
-		obs = append(obs, windowObs{
+		return &windowObs{
 			t:        t0 + win,
 			audioNED: att.Rotate(predBody).Add(gravity),
 			imuNED:   att.Rotate(imuBody).Add(gravity),
 			gpsVel:   gpsSum.Scale(1 / float64(len(tel))),
-		})
+		}
+	})
+	var obs []windowObs
+	for _, o := range perWindow {
+		if o != nil {
+			obs = append(obs, *o)
+		}
 	}
 	if len(obs) == 0 {
 		return nil, fmt.Errorf("soundboost: no usable windows for GPS RCA")
@@ -232,13 +242,15 @@ func NewGPSDetector(model *AcousticModel, benignFlights []*dataset.Flight, cfg G
 		cfg.PeakQuantile = 0.75
 	}
 	d := &GPSDetector{cfg: cfg, model: model}
-	var peaks []float64
-	for _, f := range benignFlights {
-		trace, err := d.runFlight(f)
+	peaks, err := parallel.MapErr(0, len(benignFlights), func(i int) (float64, error) {
+		trace, err := d.runFlight(benignFlights[i])
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		peaks = append(peaks, stats.Max(trace.RunningError))
+		return stats.Max(trace.RunningError), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	d.threshold = stats.Quantile(peaks, cfg.PeakQuantile) * cfg.ThresholdMargin
 	if d.threshold <= 0 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"soundboost/internal/dataset"
+	"soundboost/internal/parallel"
 	"soundboost/internal/stats"
 )
 
@@ -86,32 +87,41 @@ func flightResidualsStream(model *AcousticModel, f *dataset.Flight, stream int) 
 		return 0, false
 	}
 	win := model.cfg.Signature.WindowSeconds
-	var out []windowResiduals
-	for _, t0 := range ex.WindowStarts(win) {
+	// Per-window extraction and prediction fan out across the worker pool;
+	// results stay in window order, so the output matches the serial loop.
+	starts := ex.WindowStarts(win)
+	perWindow := parallel.Map(0, len(starts), func(i int) *windowResiduals {
+		t0 := starts[i]
 		feat := windowFeatures(ex, f, t0, win)
 		if feat == nil {
-			continue
+			return nil
 		}
 		pred := model.Predict(feat)
 		tel := f.TelemetryBetween(t0, t0+win)
 		if len(tel) == 0 {
-			continue
+			return nil
 		}
 		// z-axis (downward) residuals only: the thrust axis is the one the
 		// acoustic channel predicts in every flight regime, and it is the
 		// axis the paper's IMU attacks tamper with (Fig. 6). Horizontal
 		// residuals shift with airspeed-dependent drag and would alias
 		// aggressive-but-benign maneuvers into attacks.
-		wr := windowResiduals{Start: t0, Vals: make([]float64, 0, len(tel))}
+		wr := &windowResiduals{Start: t0, Vals: make([]float64, 0, len(tel))}
 		for _, s := range tel {
 			if z, ok := accelZ(s); ok {
 				wr.Vals = append(wr.Vals, pred.Z-z)
 			}
 		}
 		if len(wr.Vals) == 0 {
-			continue
+			return nil
 		}
-		out = append(out, wr)
+		return wr
+	})
+	var out []windowResiduals
+	for _, wr := range perWindow {
+		if wr != nil {
+			out = append(out, *wr)
+		}
 	}
 	return out, nil
 }
@@ -153,17 +163,17 @@ func NewIMUDetector(model *AcousticModel, benignFlights []*dataset.Flight, cfg I
 	if cfg.DetectPeriods < 1 {
 		cfg.DetectPeriods = 1
 	}
+	perFlight, err := parallel.MapErr(0, len(benignFlights), func(i int) ([]windowResiduals, error) {
+		return flightResidualsStream(model, benignFlights[i], cfg.Stream)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var pool []float64
-	var perFlight [][]windowResiduals
-	for _, f := range benignFlights {
-		rs, err := flightResidualsStream(model, f, cfg.Stream)
-		if err != nil {
-			return nil, err
-		}
+	for _, rs := range perFlight {
 		for _, wr := range rs {
 			pool = append(pool, wr.Vals...)
 		}
-		perFlight = append(perFlight, rs)
 	}
 	benign, err := stats.FitNormal(pool)
 	if err != nil {

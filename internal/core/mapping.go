@@ -12,6 +12,7 @@ import (
 	"soundboost/internal/dataset"
 	"soundboost/internal/mathx"
 	"soundboost/internal/nn"
+	"soundboost/internal/parallel"
 )
 
 // MappingConfig controls the sensory-mapping (training) stage (§III-B).
@@ -167,28 +168,38 @@ func BuildWindows(f *dataset.Flight, cfg SignatureConfig, flightIndex int, augme
 	}
 	baseWin := cfg.WindowSeconds
 	exWin := baseWin * augment
-	var out []WindowSample
-	for _, t0 := range ex.WindowStarts(exWin) {
+	// Windows are independent reads of the shared extractor and telemetry;
+	// fan them out and keep results in start-time order so the parallel
+	// path is byte-identical to the serial one.
+	starts := ex.WindowStarts(exWin)
+	samples := parallel.Map(0, len(starts), func(i int) *WindowSample {
+		t0 := starts[i]
 		feat := windowFeatures(ex, f, t0, exWin)
 		if feat == nil {
-			continue
+			return nil
 		}
 		// Label: mean IMU accel over the *base* window at the start of the
 		// stretched window (the actuation outcome the sound leads to).
 		tel := f.TelemetryBetween(t0, t0+baseWin)
 		if len(tel) == 0 {
-			continue
+			return nil
 		}
 		var sum mathx.Vec3
 		for _, s := range tel {
 			sum = sum.Add(s.IMUAccel)
 		}
-		out = append(out, WindowSample{
+		return &WindowSample{
 			FlightIndex: flightIndex,
 			Start:       t0,
 			Features:    feat,
 			Label:       sum.Scale(1 / float64(len(tel))),
-		})
+		}
+	})
+	var out []WindowSample
+	for _, s := range samples {
+		if s != nil {
+			out = append(out, *s)
+		}
 	}
 	return out, nil
 }
@@ -293,8 +304,10 @@ func TrainModel(trainFlights, valFlights []*dataset.Flight, cfg MappingConfig) (
 }
 
 // Predict maps a raw signature to the predicted body-frame specific force.
+// It goes through the network's cache-free inference path and is safe for
+// concurrent use.
 func (m *AcousticModel) Predict(features []float64) mathx.Vec3 {
-	out := m.labNorm.invert(m.net.Forward(m.featNorm.apply(features)))
+	out := m.labNorm.invert(m.net.Infer(m.featNorm.apply(features)))
 	return mathx.Vec3{X: out[0], Y: out[1], Z: out[2]}
 }
 
@@ -307,7 +320,7 @@ func (m *AcousticModel) PredictMasked(features []float64, masked []int) mathx.Ve
 			x[i] = 0
 		}
 	}
-	out := m.labNorm.invert(m.net.Forward(x))
+	out := m.labNorm.invert(m.net.Infer(x))
 	return mathx.Vec3{X: out[0], Y: out[1], Z: out[2]}
 }
 

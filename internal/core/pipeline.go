@@ -6,6 +6,7 @@ import (
 
 	"soundboost/internal/dataset"
 	"soundboost/internal/kalman"
+	"soundboost/internal/parallel"
 )
 
 // RootCause is the outcome category of a full RCA run.
@@ -73,22 +74,44 @@ type Analyzer struct {
 	GPSAudioIMU *GPSDetector
 }
 
-// NewAnalyzer calibrates all detectors from benign flights.
+// NewAnalyzer calibrates all detectors from benign flights. The three
+// calibrations are independent and run concurrently on the worker pool.
 func NewAnalyzer(model *AcousticModel, benignFlights []*dataset.Flight) (*Analyzer, error) {
 	if model == nil {
 		return nil, fmt.Errorf("soundboost: nil model")
 	}
-	imu, err := NewIMUDetector(model, benignFlights, DefaultIMUDetectorConfig())
+	var (
+		imu                 *IMUDetector
+		audioOnly, audioIMU *GPSDetector
+	)
+	err := parallel.Run(0,
+		func() error {
+			var err error
+			imu, err = NewIMUDetector(model, benignFlights, DefaultIMUDetectorConfig())
+			if err != nil {
+				return fmt.Errorf("soundboost: IMU detector: %w", err)
+			}
+			return nil
+		},
+		func() error {
+			var err error
+			audioOnly, err = NewGPSDetector(model, benignFlights, DefaultGPSDetectorConfig(kalman.ModeAudioOnly))
+			if err != nil {
+				return fmt.Errorf("soundboost: audio-only GPS detector: %w", err)
+			}
+			return nil
+		},
+		func() error {
+			var err error
+			audioIMU, err = NewGPSDetector(model, benignFlights, DefaultGPSDetectorConfig(kalman.ModeAudioIMU))
+			if err != nil {
+				return fmt.Errorf("soundboost: audio+IMU GPS detector: %w", err)
+			}
+			return nil
+		},
+	)
 	if err != nil {
-		return nil, fmt.Errorf("soundboost: IMU detector: %w", err)
-	}
-	audioOnly, err := NewGPSDetector(model, benignFlights, DefaultGPSDetectorConfig(kalman.ModeAudioOnly))
-	if err != nil {
-		return nil, fmt.Errorf("soundboost: audio-only GPS detector: %w", err)
-	}
-	audioIMU, err := NewGPSDetector(model, benignFlights, DefaultGPSDetectorConfig(kalman.ModeAudioIMU))
-	if err != nil {
-		return nil, fmt.Errorf("soundboost: audio+IMU GPS detector: %w", err)
+		return nil, err
 	}
 	return &Analyzer{Model: model, IMU: imu, GPSAudioOnly: audioOnly, GPSAudioIMU: audioIMU}, nil
 }

@@ -13,6 +13,7 @@ import (
 
 	"soundboost/internal/acoustics"
 	"soundboost/internal/dsp"
+	"soundboost/internal/parallel"
 )
 
 // SignatureConfig controls acoustic signature generation (paper §III-A).
@@ -70,13 +71,43 @@ func (c SignatureConfig) Validate() error {
 		return fmt.Errorf("soundboost: window %g s must be positive", c.WindowSeconds)
 	case c.HopSeconds <= 0:
 		return fmt.Errorf("soundboost: hop %g s must be positive", c.HopSeconds)
+	case c.HopSeconds > c.WindowSeconds:
+		return fmt.Errorf("soundboost: hop %g s exceeds window %g s (windows would skip audio)", c.HopSeconds, c.WindowSeconds)
 	case c.SubFrames < 1:
 		return fmt.Errorf("soundboost: sub-frames %d must be >= 1", c.SubFrames)
 	case len(c.Bands) == 0:
 		return fmt.Errorf("soundboost: no analysis bands")
-	default:
-		return nil
 	}
+	for _, b := range c.Bands {
+		if b.Low < 0 {
+			return fmt.Errorf("soundboost: band %q has negative low edge %g Hz", b.Name, b.Low)
+		}
+		if b.High <= b.Low {
+			return fmt.Errorf("soundboost: band %q is empty or inverted (%g..%g Hz)", b.Name, b.Low, b.High)
+		}
+	}
+	return nil
+}
+
+// ValidateForRate validates the config against a concrete sample rate:
+// beyond Validate, it rejects bands that lie entirely at or above the
+// Nyquist frequency, where no spectral content can exist. A band whose
+// upper edge merely crosses Nyquist is allowed — BandEnergy clamps it to
+// the spectrum.
+func (c SignatureConfig) ValidateForRate(sampleRate float64) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if sampleRate <= 0 {
+		return fmt.Errorf("soundboost: sample rate %g Hz must be positive", sampleRate)
+	}
+	nyquist := sampleRate / 2
+	for _, b := range c.Bands {
+		if b.Low >= nyquist {
+			return fmt.Errorf("soundboost: band %q (%g..%g Hz) lies entirely above Nyquist %g Hz", b.Name, b.Low, b.High, nyquist)
+		}
+	}
+	return nil
 }
 
 // FeatureDim returns the signature vector length: per mic, per sub-frame,
@@ -124,25 +155,31 @@ type Extractor struct {
 
 // NewExtractor prepares signature extraction for a recording.
 func NewExtractor(rec *acoustics.Recording, cfg SignatureConfig) (*Extractor, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
 	if rec == nil || rec.Samples() == 0 {
 		return nil, fmt.Errorf("soundboost: empty recording")
 	}
+	if err := cfg.ValidateForRate(rec.SampleRate); err != nil {
+		return nil, err
+	}
 	e := &Extractor{cfg: cfg, rate: rec.SampleRate}
-	for m := range rec.Channels {
+	// Each channel filters independently; fan the four mics out across the
+	// worker pool. Filter state is per-channel, so results are identical to
+	// the serial loop.
+	channels, err := parallel.MapErr(0, len(rec.Channels), func(m int) ([]float64, error) {
 		ch := rec.Channels[m]
 		if cfg.LowPassHz > 0 && cfg.LowPassHz < rec.SampleRate/2 {
 			lp, err := dsp.NewLowPass(cfg.LowPassHz, rec.SampleRate)
 			if err != nil {
 				return nil, fmt.Errorf("soundboost: low-pass: %w", err)
 			}
-			e.filtered[m] = lp.ProcessAll(ch)
-		} else {
-			e.filtered[m] = append([]float64(nil), ch...)
+			return lp.ProcessAll(ch), nil
 		}
+		return append([]float64(nil), ch...), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	copy(e.filtered[:], channels)
 	return e, nil
 }
 
@@ -174,8 +211,10 @@ func (e *Extractor) Features(t0, windowSeconds float64) []float64 {
 	// Acoustic part only; attitude features (when configured) are appended
 	// by the window builders, which have telemetry access.
 	out := make([]float64, e.cfg.AcousticDim())
-	buf := make([]complex128, nfft)
-	win := dsp.Hann(sub)
+	plan := dsp.PlanFFT(nfft)
+	buf := dsp.AcquireComplex(nfft)
+	defer dsp.ReleaseComplex(buf)
+	win := dsp.CachedHann(sub)
 	for m := 0; m < acoustics.NumMics; m++ {
 		ch := e.filtered[m]
 		for s := 0; s < e.cfg.SubFrames; s++ {
@@ -186,7 +225,8 @@ func (e *Extractor) Features(t0, windowSeconds float64) []float64 {
 			for i := 0; i < sub; i++ {
 				buf[i] = complex(ch[off+i]*win[i], 0)
 			}
-			mags := dsp.Magnitudes(dsp.FFT(buf)[:nfft/2+1])
+			plan.Forward(buf)
+			mags := dsp.Magnitudes(buf[:nfft/2+1])
 			base := (m*e.cfg.SubFrames + s) * perFrame
 			var rms float64
 			for i := 0; i < sub; i++ {
@@ -207,11 +247,19 @@ func (e *Extractor) Features(t0, windowSeconds float64) []float64 {
 }
 
 // WindowStarts enumerates the start times of all complete signature
-// windows of the given size with the configured hop.
+// windows of the given size with the configured hop. Each start is
+// computed as i*hop from an integer counter rather than by repeated
+// addition, so long recordings do not accumulate float rounding drift
+// (repeated `t += hop` loses windows and shifts starts after thousands
+// of hops).
 func (e *Extractor) WindowStarts(windowSeconds float64) []float64 {
 	var out []float64
 	dur := e.Duration()
-	for t := 0.0; t+windowSeconds <= dur; t += e.cfg.HopSeconds {
+	for i := 0; ; i++ {
+		t := float64(i) * e.cfg.HopSeconds
+		if t+windowSeconds > dur {
+			break
+		}
 		out = append(out, t)
 	}
 	return out

@@ -2,7 +2,9 @@
 // a radix-2 FFT with Bluestein fallback for arbitrary lengths, analysis
 // windows, short-time Fourier transforms, frequency-band energy extraction
 // (the paper's blade-passing / mechanical / aerodynamic groups), biquad
-// filters, and the Goertzel single-bin DFT.
+// filters, and the Goertzel single-bin DFT. Transforms run over cached
+// per-size plans (see Plan); the free functions below are thin wrappers
+// that allocate an output slice and delegate.
 package dsp
 
 import (
@@ -15,11 +17,12 @@ import (
 // FFT computes the discrete Fourier transform of x and returns a new slice.
 // Power-of-two lengths use an in-place iterative radix-2 Cooley-Tukey;
 // other lengths fall back to Bluestein's chirp-z algorithm. Length 0 returns
-// an empty slice.
+// an empty slice. Callers on a hot path should hold a Plan and transform in
+// place instead.
 func FFT(x []complex128) []complex128 {
 	out := make([]complex128, len(x))
 	copy(out, x)
-	fftInPlace(out, false)
+	PlanFFT(len(x)).Transform(out, false)
 	return out
 }
 
@@ -27,7 +30,7 @@ func FFT(x []complex128) []complex128 {
 func IFFT(x []complex128) []complex128 {
 	out := make([]complex128, len(x))
 	copy(out, x)
-	fftInPlace(out, true)
+	PlanFFT(len(x)).Transform(out, true)
 	return out
 }
 
@@ -37,100 +40,8 @@ func FFTReal(x []float64) []complex128 {
 	for i, v := range x {
 		c[i] = complex(v, 0)
 	}
-	fftInPlace(c, false)
+	PlanFFT(len(c)).Transform(c, false)
 	return c
-}
-
-func fftInPlace(x []complex128, inverse bool) {
-	n := len(x)
-	if n <= 1 {
-		return
-	}
-	if n&(n-1) == 0 {
-		radix2(x, inverse)
-	} else {
-		bluestein(x, inverse)
-	}
-	if inverse {
-		inv := complex(1/float64(n), 0)
-		for i := range x {
-			x[i] *= inv
-		}
-	}
-}
-
-// radix2 is an iterative in-place Cooley-Tukey FFT for power-of-two n.
-// When inverse is true the twiddle sign is flipped; normalization is the
-// caller's responsibility.
-func radix2(x []complex128, inverse bool) {
-	n := len(x)
-	shift := 64 - uint(bits.TrailingZeros(uint(n)))
-	// Bit-reversal permutation.
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := sign * 2 * math.Pi / float64(size)
-		wStep := cmplx.Exp(complex(0, step))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= wStep
-			}
-		}
-	}
-}
-
-// bluestein implements the chirp-z transform reduction of an arbitrary-length
-// DFT to a power-of-two convolution.
-func bluestein(x []complex128, inverse bool) {
-	n := len(x)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	m := 1
-	for m < 2*n-1 {
-		m <<= 1
-	}
-	// Chirp w[k] = exp(sign*i*pi*k^2/n).
-	w := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		// k*k can overflow for huge n; mod 2n keeps the phase identical.
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		w[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(kk)/float64(n)))
-	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * w[k]
-		b[k] = cmplx.Conj(w[k])
-	}
-	for k := 1; k < n; k++ {
-		b[m-k] = cmplx.Conj(w[k])
-	}
-	radix2(a, false)
-	radix2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	radix2(a, true)
-	scale := complex(1/float64(m), 0)
-	for k := 0; k < n; k++ {
-		x[k] = a[k] * scale * w[k]
-	}
 }
 
 // Magnitudes returns |X[k]| for each bin.
@@ -180,8 +91,12 @@ func NextPow2(n int) int {
 }
 
 // Goertzel evaluates the DFT magnitude of x at a single target frequency
-// using the Goertzel recurrence. It is cheaper than a full FFT when only a
-// handful of bins are needed (e.g. tracking the blade-passing line).
+// using the generalized Goertzel recurrence (Sysel & Rajmic 2012). Unlike
+// the classic integer-bin formulation, the final complex correction term
+// is exact for *fractional* bins too, so the magnitude matches a direct
+// DFT at any target frequency — the common case when tracking the
+// blade-passing line, which rarely sits on a bin center. It is cheaper
+// than a full FFT when only a handful of bins are needed.
 func Goertzel(x []float64, targetFreq, sampleRate float64) float64 {
 	n := len(x)
 	if n == 0 {
@@ -196,11 +111,13 @@ func Goertzel(x []float64, targetFreq, sampleRate float64) float64 {
 		s2 = s1
 		s1 = s0
 	}
-	power := s1*s1 + s2*s2 - coeff*s1*s2
-	if power < 0 {
-		power = 0
-	}
-	return math.Sqrt(power)
+	// y[N-1] = s[N-1] - e^{-i*omega} s[N-2] equals e^{i*omega(N-1)} X(omega)
+	// for any omega; the unit phasor drops out of the magnitude. The classic
+	// power formula s1^2 + s2^2 - coeff*s1*s2 is only its square when omega
+	// corresponds to an integer bin.
+	re := s1 - s2*math.Cos(omega)
+	im := s2 * math.Sin(omega)
+	return math.Hypot(re, im)
 }
 
 // Validate reports an error when a transform length would be pathological.

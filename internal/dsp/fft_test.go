@@ -143,9 +143,9 @@ func TestFrequencyBinClamping(t *testing.T) {
 	}{
 		{-100, 0},
 		{0, 0},
-		{1000, 512},              // 1000 * 8192 / 16000 = 512
-		{8000, 4096},             // Nyquist
-		{20000, 4096},            // beyond Nyquist clamps
+		{1000, 512},   // 1000 * 8192 / 16000 = 512
+		{8000, 4096},  // Nyquist
+		{20000, 4096}, // beyond Nyquist clamps
 	}
 	for _, tt := range tests {
 		if got := FrequencyBin(tt.freq, 8192, 16000); got != tt.want {

@@ -49,17 +49,20 @@ func STFT(x []float64, sampleRate float64, cfg STFTConfig) (*Spectrogram, error)
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	winFn := cfg.Window
-	if winFn == nil {
-		winFn = Hann
+	var win []float64
+	if cfg.Window != nil {
+		win = cfg.Window(cfg.WindowSize)
+	} else {
+		win = CachedHann(cfg.WindowSize)
 	}
-	win := winFn(cfg.WindowSize)
 	nfft := cfg.WindowSize
 	if cfg.Pad {
 		nfft = NextPow2(cfg.WindowSize)
 	}
 	var frames [][]float64
-	buf := make([]complex128, nfft)
+	plan := PlanFFT(nfft)
+	buf := AcquireComplex(nfft)
+	defer ReleaseComplex(buf)
 	for start := 0; start+cfg.WindowSize <= len(x); start += cfg.HopSize {
 		for i := range buf {
 			buf[i] = 0
@@ -67,8 +70,8 @@ func STFT(x []float64, sampleRate float64, cfg STFTConfig) (*Spectrogram, error)
 		for i := 0; i < cfg.WindowSize; i++ {
 			buf[i] = complex(x[start+i]*win[i], 0)
 		}
-		spec := FFT(buf)
-		frames = append(frames, Magnitudes(spec[:nfft/2+1]))
+		plan.Forward(buf)
+		frames = append(frames, Magnitudes(buf[:nfft/2+1]))
 	}
 	return &Spectrogram{Mag: frames, NFFT: nfft, SampleRate: sampleRate, HopSize: cfg.HopSize}, nil
 }

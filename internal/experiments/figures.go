@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"time"
 
@@ -47,7 +48,13 @@ func (r Fig2Result) String() string {
 		}
 	}
 	b.WriteString("Fig 2b-d: aero band amplitude vs thrust correlation\n")
-	for name, s := range r.Series {
+	names := make([]string, 0, len(r.Series))
+	for name := range r.Series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := r.Series[name]
 		fmt.Fprintf(&b, "  %-12s corr %.2f over %d windows\n", name, s.Correlation, len(s.Time))
 	}
 	return b.String()

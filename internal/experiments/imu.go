@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 
+	soundboost "soundboost/internal/core"
+	"soundboost/internal/parallel"
 	"soundboost/internal/stats"
 )
 
@@ -56,15 +58,31 @@ func RunIMUExperiment(lab *Lab, logf func(string, ...any)) (IMUResult, error) {
 	result := IMUResult{PerMode: map[string][2]int{}}
 	var counts stats.ConfusionCounts
 	var delays, sigmas []float64
-	for _, spec := range lab.Scale.IMUFlights() {
+	specs := lab.Scale.IMUFlights()
+	// Flights generate and analyse independently; verdicts fold into the
+	// aggregate below in spec order, matching the serial sweep.
+	type imuOutcome struct {
+		name    string
+		verdict soundboost.IMUVerdict
+	}
+	outcomes, err := parallel.MapErr(0, len(specs), func(i int) (imuOutcome, error) {
+		spec := specs[i]
 		f, err := lab.Scale.GenerateIMUFlight(spec)
 		if err != nil {
-			return IMUResult{}, fmt.Errorf("experiments: imu flight %d: %w", spec.Index, err)
+			return imuOutcome{}, fmt.Errorf("experiments: imu flight %d: %w", spec.Index, err)
 		}
 		v, err := lab.IMUDetector.Detect(f)
 		if err != nil {
-			return IMUResult{}, fmt.Errorf("experiments: imu detect %s: %w", f.Name, err)
+			return imuOutcome{}, fmt.Errorf("experiments: imu detect %s: %w", f.Name, err)
 		}
+		return imuOutcome{name: f.Name, verdict: v}, nil
+	})
+	if err != nil {
+		return IMUResult{}, err
+	}
+	for i, o := range outcomes {
+		spec := specs[i]
+		v := o.verdict
 		counts.Record(spec.Attack, v.Attacked)
 		if spec.LowBattery && v.Attacked {
 			result.LowBatteryAlerted = true
@@ -84,7 +102,7 @@ func RunIMUExperiment(lab *Lab, logf func(string, ...any)) (IMUResult, error) {
 			}
 			result.PerMode[mode] = c
 		}
-		logf("imu flight %s: attack=%v detected=%v t=%.1f", f.Name, spec.Attack, v.Attacked, v.DetectionTime)
+		logf("imu flight %s: attack=%v detected=%v t=%.1f", o.name, spec.Attack, v.Attacked, v.DetectionTime)
 	}
 	result.BenignFlights = counts.FP + counts.TN
 	result.BenignAlerted = counts.FP

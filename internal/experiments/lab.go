@@ -9,6 +9,7 @@ import (
 	"soundboost/internal/dataset"
 	"soundboost/internal/kalman"
 	"soundboost/internal/nn"
+	"soundboost/internal/parallel"
 )
 
 // Lab holds the trained model, calibrated detectors, and the benign
@@ -88,30 +89,40 @@ func NewLab(scale Scale, opts ...LabOption) (*Lab, error) {
 
 	lab := &Lab{Scale: scale, logf: logf}
 
-	// --- Training corpus: stream flights into feature pairs.
-	var xs, ys [][]float64
-	missionCounter := 0
-	for i := 0; i < scale.TrainFlights; i++ {
+	// --- Training corpus: flights generate and extract independently, so
+	// they fan out across the worker pool; pairs concatenate in flight
+	// order, keeping the dataset identical to the serial build.
+	type flightPairs struct {
+		mission string
+		xs, ys  [][]float64
+	}
+	trainParts, err := parallel.MapErr(0, scale.TrainFlights, func(i int) (flightPairs, error) {
 		missions := trainingMissions(scale, i)
-		mission := missions[missionCounter%len(missions)]
-		missionCounter++
+		mission := missions[i%len(missions)]
 		cfg := scale.genConfig(mission, scale.Seed+100+int64(i)*7, windCycle(i))
 		cfg.Name = fmt.Sprintf("train-%02d-%s", i, mission.Name())
 		f, err := dataset.Generate(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: train flight %d: %w", i, err)
+			return flightPairs{}, fmt.Errorf("experiments: train flight %d: %w", i, err)
 		}
 		fx, fy, err := soundboost.ExtractTrainingWindows(f, mapCfg, i)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: extract flight %d: %w", i, err)
+			return flightPairs{}, fmt.Errorf("experiments: extract flight %d: %w", i, err)
 		}
-		xs = append(xs, fx...)
-		ys = append(ys, fy...)
-		logf("train flight %d/%d (%s): %d windows", i+1, scale.TrainFlights, mission.Name(), len(fx))
+		return flightPairs{mission: mission.Name(), xs: fx, ys: fy}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var xs, ys [][]float64
+	for i, part := range trainParts {
+		xs = append(xs, part.xs...)
+		ys = append(ys, part.ys...)
+		logf("train flight %d/%d (%s): %d windows", i+1, scale.TrainFlights, part.mission, len(part.xs))
 	}
 
 	// --- Validation corpus (kept for MSE reporting).
-	for i := 0; i < scale.ValFlights; i++ {
+	lab.Val, err = parallel.MapErr(0, scale.ValFlights, func(i int) (*dataset.Flight, error) {
 		missions := trainingMissions(scale, i+1)
 		mission := missions[(i*2+1)%len(missions)]
 		cfg := scale.genConfig(mission, scale.Seed+300+int64(i)*11, windCycle(i+1))
@@ -120,7 +131,10 @@ func NewLab(scale Scale, opts ...LabOption) (*Lab, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: val flight %d: %w", i, err)
 		}
-		lab.Val = append(lab.Val, f)
+		return f, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var valX, valY [][]float64
 	for i, f := range lab.Val {
@@ -149,7 +163,7 @@ func NewLab(scale Scale, opts ...LabOption) (*Lab, error) {
 	}
 
 	// --- Calibration corpus: mission-diverse benign flights.
-	for i := 0; i < scale.CalibFlights; i++ {
+	lab.Calib, err = parallel.MapErr(0, scale.CalibFlights, func(i int) (*dataset.Flight, error) {
 		missions := trainingMissions(scale, i+2)
 		mission := missions[i%len(missions)]
 		cfg := scale.genConfig(mission, scale.Seed+500+int64(i)*13, windCycle(i))
@@ -158,7 +172,10 @@ func NewLab(scale Scale, opts ...LabOption) (*Lab, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: calib flight %d: %w", i, err)
 		}
-		lab.Calib = append(lab.Calib, f)
+		return f, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if mse, err := soundboost.EvaluateMSE(model, lab.Calib); err == nil {
 		lab.TestMSE = mse
@@ -170,7 +187,7 @@ func NewLab(scale Scale, opts ...LabOption) (*Lab, error) {
 	if nGPSCalib < 8 {
 		nGPSCalib = 8
 	}
-	for i := 0; i < nGPSCalib; i++ {
+	lab.GPSCalib, err = parallel.MapErr(0, nGPSCalib, func(i int) (*dataset.Flight, error) {
 		spec := PeriodSpec{
 			Index:    i,
 			Seed:     scale.Seed + 700 + int64(i)*29,
@@ -182,46 +199,79 @@ func NewLab(scale Scale, opts ...LabOption) (*Lab, error) {
 			return nil, fmt.Errorf("experiments: gps calib %d: %w", i, err)
 		}
 		f.Name = fmt.Sprintf("gps-calib-%02d", i)
-		lab.GPSCalib = append(lab.GPSCalib, f)
+		return f, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	// --- Detectors.
+	// --- Detectors: the eight calibrations are independent, so they run
+	// concurrently on the worker pool. Each writes a distinct Lab field.
 	logf("calibrating detectors on %d benign flights", len(lab.Calib))
-	lab.IMUDetector, err = soundboost.NewIMUDetector(model, lab.Calib, soundboost.DefaultIMUDetectorConfig())
-	if err != nil {
-		return nil, fmt.Errorf("experiments: IMU detector: %w", err)
-	}
-	lab.GPSAudioOnly, err = soundboost.NewGPSDetector(model, lab.GPSCalib, soundboost.DefaultGPSDetectorConfig(kalman.ModeAudioOnly))
-	if err != nil {
-		return nil, fmt.Errorf("experiments: audio-only detector: %w", err)
-	}
-	lab.GPSAudioIMU, err = soundboost.NewGPSDetector(model, lab.GPSCalib, soundboost.DefaultGPSDetectorConfig(kalman.ModeAudioIMU))
-	if err != nil {
-		return nil, fmt.Errorf("experiments: audio+IMU detector: %w", err)
-	}
-	lab.Failsafe, err = baselines.NewFailsafe(lab.GPSCalib, baselines.DefaultFailsafeConfig())
-	if err != nil {
-		return nil, fmt.Errorf("experiments: failsafe: %w", err)
-	}
-	lab.LTIYaw, err = baselines.NewLTI(lab.Calib, baselines.DefaultLTIConfig(baselines.LTIYaw))
-	if err != nil {
-		return nil, fmt.Errorf("experiments: LTI yaw: %w", err)
-	}
-	lab.LTIVx, err = baselines.NewLTI(lab.Calib, baselines.DefaultLTIConfig(baselines.LTIVx))
-	if err != nil {
-		return nil, fmt.Errorf("experiments: LTI vx: %w", err)
-	}
-	lab.LTIVy, err = baselines.NewLTI(lab.Calib, baselines.DefaultLTIConfig(baselines.LTIVy))
-	if err != nil {
-		return nil, fmt.Errorf("experiments: LTI vy: %w", err)
-	}
 	dnnCfg := baselines.DefaultDNNConfig()
 	if scale.Name == "quick" {
 		dnnCfg.Train.Epochs = 8
 	}
-	lab.DNN, err = baselines.NewDNN(lab.Calib, dnnCfg)
+	err = parallel.Run(0,
+		func() (err error) {
+			lab.IMUDetector, err = soundboost.NewIMUDetector(model, lab.Calib, soundboost.DefaultIMUDetectorConfig())
+			if err != nil {
+				err = fmt.Errorf("experiments: IMU detector: %w", err)
+			}
+			return
+		},
+		func() (err error) {
+			lab.GPSAudioOnly, err = soundboost.NewGPSDetector(model, lab.GPSCalib, soundboost.DefaultGPSDetectorConfig(kalman.ModeAudioOnly))
+			if err != nil {
+				err = fmt.Errorf("experiments: audio-only detector: %w", err)
+			}
+			return
+		},
+		func() (err error) {
+			lab.GPSAudioIMU, err = soundboost.NewGPSDetector(model, lab.GPSCalib, soundboost.DefaultGPSDetectorConfig(kalman.ModeAudioIMU))
+			if err != nil {
+				err = fmt.Errorf("experiments: audio+IMU detector: %w", err)
+			}
+			return
+		},
+		func() (err error) {
+			lab.Failsafe, err = baselines.NewFailsafe(lab.GPSCalib, baselines.DefaultFailsafeConfig())
+			if err != nil {
+				err = fmt.Errorf("experiments: failsafe: %w", err)
+			}
+			return
+		},
+		func() (err error) {
+			lab.LTIYaw, err = baselines.NewLTI(lab.Calib, baselines.DefaultLTIConfig(baselines.LTIYaw))
+			if err != nil {
+				err = fmt.Errorf("experiments: LTI yaw: %w", err)
+			}
+			return
+		},
+		func() (err error) {
+			lab.LTIVx, err = baselines.NewLTI(lab.Calib, baselines.DefaultLTIConfig(baselines.LTIVx))
+			if err != nil {
+				err = fmt.Errorf("experiments: LTI vx: %w", err)
+			}
+			return
+		},
+		func() (err error) {
+			lab.LTIVy, err = baselines.NewLTI(lab.Calib, baselines.DefaultLTIConfig(baselines.LTIVy))
+			if err != nil {
+				err = fmt.Errorf("experiments: LTI vy: %w", err)
+			}
+			return
+		},
+		func() (err error) {
+			lab.DNN, err = baselines.NewDNN(lab.Calib, dnnCfg)
+			if err != nil {
+				err = fmt.Errorf("experiments: DNN: %w", err)
+			}
+			return
+		},
+	)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: DNN: %w", err)
+		return nil, err
 	}
 
 	lab.BuildSeconds = time.Since(start).Seconds()

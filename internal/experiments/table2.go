@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"soundboost/internal/baselines"
 	"soundboost/internal/dataset"
+	"soundboost/internal/parallel"
 	"soundboost/internal/stats"
 )
 
@@ -78,22 +80,48 @@ func RunTable2(lab *Lab, logf func(string, ...any)) (Table2Result, error) {
 		{"dnn lstm", baselineFn(lab.DNN)},
 	}
 
-	counts := make([]stats.ConfusionCounts, len(detectors))
-	delays := make([][]float64, len(detectors))
 	specs := lab.Scale.GPSPeriods()
-	for si, spec := range specs {
+	// Periods are independent (generate + judge); fan them out and fold the
+	// per-period outcomes into the confusion counts afterwards in period
+	// order, so the aggregate is identical to the serial sweep.
+	type periodOutcome struct {
+		attacked []bool
+		delay    []float64 // NaN when no valid delay
+	}
+	outcomes, err := parallel.MapErr(0, len(specs), func(si int) (periodOutcome, error) {
+		spec := specs[si]
 		f, err := lab.Scale.GeneratePeriod(spec)
 		if err != nil {
-			return Table2Result{}, fmt.Errorf("experiments: period %d: %w", si, err)
+			return periodOutcome{}, fmt.Errorf("experiments: period %d: %w", si, err)
+		}
+		po := periodOutcome{
+			attacked: make([]bool, len(detectors)),
+			delay:    make([]float64, len(detectors)),
 		}
 		for di, d := range detectors {
 			attacked, at, err := d.fn(f)
 			if err != nil {
-				return Table2Result{}, fmt.Errorf("experiments: %s on period %d: %w", d.name, si, err)
+				return periodOutcome{}, fmt.Errorf("experiments: %s on period %d: %w", d.name, si, err)
 			}
-			counts[di].Record(spec.Attack, attacked)
+			po.attacked[di] = attacked
+			po.delay[di] = math.NaN()
 			if spec.Attack && attacked && at >= spec.Window.Start {
-				delays[di] = append(delays[di], at-spec.Window.Start)
+				po.delay[di] = at - spec.Window.Start
+			}
+		}
+		return po, nil
+	})
+	if err != nil {
+		return Table2Result{}, err
+	}
+	counts := make([]stats.ConfusionCounts, len(detectors))
+	delays := make([][]float64, len(detectors))
+	for si, po := range outcomes {
+		spec := specs[si]
+		for di := range detectors {
+			counts[di].Record(spec.Attack, po.attacked[di])
+			if !math.IsNaN(po.delay[di]) {
+				delays[di] = append(delays[di], po.delay[di])
 			}
 		}
 		logf("period %d/%d (%s, attack=%v) done", si+1, len(specs), spec.Mission, spec.Attack)

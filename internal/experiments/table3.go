@@ -7,6 +7,7 @@ import (
 	"soundboost/internal/acoustics"
 	soundboost "soundboost/internal/core"
 	"soundboost/internal/dataset"
+	"soundboost/internal/parallel"
 	"soundboost/internal/stats"
 )
 
@@ -87,33 +88,38 @@ func RunTable3(lab *Lab, logf func(string, ...any)) (Table3Result, error) {
 			nb++
 		}
 	}
-	flights := make([]*dataset.Flight, 0, len(specs))
-	for _, spec := range specs {
-		f, err := scale.GeneratePeriod(spec)
-		if err != nil {
-			return Table3Result{}, err
-		}
-		flights = append(flights, f)
+	flights, err := parallel.MapErr(0, len(specs), func(i int) (*dataset.Flight, error) {
+		return scale.GeneratePeriod(specs[i])
+	})
+	if err != nil {
+		return Table3Result{}, err
 	}
 
+	// Flights within one grid cell are judged independently; the verdicts
+	// fold into the confusion counts in flight order afterwards.
 	evaluate := func(interfere func(*dataset.Flight) *dataset.Flight) (tpr, fpr float64, err error) {
-		var counts stats.ConfusionCounts
-		for i, f := range flights {
-			target := f
+		attacked, err := parallel.MapErr(0, len(flights), func(i int) (bool, error) {
+			target := flights[i]
 			if interfere != nil {
-				target = interfere(f)
+				target = interfere(target)
 			}
 			v, err := lab.GPSAudioIMU.Detect(target)
 			if err != nil {
-				return 0, 0, err
+				return false, err
 			}
-			counts.Record(specs[i].Attack, v.Attacked)
+			return v.Attacked, nil
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		var counts stats.ConfusionCounts
+		for i, a := range attacked {
+			counts.Record(specs[i].Attack, a)
 		}
 		return counts.TPR(), counts.FPR(), nil
 	}
 
 	var result Table3Result
-	var err error
 	result.BaselineTPR, result.BaselineFPR, err = evaluate(nil)
 	if err != nil {
 		return Table3Result{}, err

@@ -41,7 +41,7 @@ func TestQuatAxisAngle(t *testing.T) {
 func TestQuatEulerRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < 200; i++ {
-		roll := (rng.Float64() - 0.5) * 2   // within ±1 rad, away from gimbal lock
+		roll := (rng.Float64() - 0.5) * 2 // within ±1 rad, away from gimbal lock
 		pitch := (rng.Float64() - 0.5) * 2
 		yaw := (rng.Float64() - 0.5) * 6
 		q := QuatFromEuler(roll, pitch, yaw)

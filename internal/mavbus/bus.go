@@ -33,10 +33,10 @@ type Subscription struct {
 	// subscription is cancelled.
 	C <-chan Message
 
-	bus    *Bus
-	topic  string
-	ch     chan Message
-	once   sync.Once
+	bus   *Bus
+	topic string
+	ch    chan Message
+	once  sync.Once
 }
 
 // Cancel detaches the subscription and closes its channel.
@@ -57,12 +57,12 @@ func (s *Subscription) Cancel() {
 
 // Bus is a concurrency-safe topic bus with per-topic replay buffers.
 type Bus struct {
-	mu       sync.Mutex
-	subs     map[string][]*Subscription
-	replay   map[string][]Message
-	replayN  int
-	closed   bool
-	dropped  int
+	mu      sync.Mutex
+	subs    map[string][]*Subscription
+	replay  map[string][]Message
+	replayN int
+	closed  bool
+	dropped int
 }
 
 // NewBus builds a bus retaining up to replayN messages per topic for

@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestInferMatchesForward checks that the cache-free inference path is
+// bitwise identical to Forward for every regressor family.
+func TestInferMatchesForward(t *testing.T) {
+	for _, kind := range []ModelKind{ModelMLP, ModelResMLP, ModelODE} {
+		rng := rand.New(rand.NewSource(7))
+		net, err := NewRegressor(kind, 6, 16, 3, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			x := make([]float64, 6)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			want := net.Forward(x)
+			got := net.Infer(x)
+			if len(got) != len(want) {
+				t.Fatalf("%s: width mismatch", kind)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s: Infer[%d] = %v, Forward = %v", kind, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestLSTMInferMatchesForward checks the same equivalence for the LSTM and
+// that concurrent Infer calls do not interfere (run under -race).
+func TestLSTMInferMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	l := NewLSTM(4, 8, 4, rng)
+	mkSeq := func() [][]float64 {
+		seq := make([][]float64, 5)
+		for t := range seq {
+			seq[t] = make([]float64, 4)
+			for i := range seq[t] {
+				seq[t][i] = rng.NormFloat64()
+			}
+		}
+		return seq
+	}
+	seqs := make([][][]float64, 16)
+	want := make([][]float64, len(seqs))
+	for i := range seqs {
+		seqs[i] = mkSeq()
+		want[i] = l.Forward(seqs[i])
+	}
+	var wg sync.WaitGroup
+	got := make([][]float64, len(seqs))
+	for i := range seqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = l.Infer(seqs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range seqs {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("seq %d out %d: Infer %v != Forward %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}

@@ -24,6 +24,11 @@ import (
 type Layer interface {
 	// Forward computes the layer output for one sample.
 	Forward(x []float64) []float64
+	// Infer computes the same output as Forward without touching the
+	// layer's backprop caches. It is safe for concurrent use (the only
+	// state read is the parameters, which inference never mutates) and is
+	// the path the parallel RCA pipeline predicts through.
+	Infer(x []float64) []float64
 	// Backward receives dL/dOutput and returns dL/dInput, accumulating
 	// parameter gradients internally.
 	Backward(grad []float64) []float64
@@ -75,10 +80,15 @@ func NewDense(in, out int, rng *rand.Rand) *Dense {
 
 // Forward implements Layer.
 func (d *Dense) Forward(x []float64) []float64 {
+	d.lastIn = x
+	return d.Infer(x)
+}
+
+// Infer implements Layer.
+func (d *Dense) Infer(x []float64) []float64 {
 	if len(x) != d.In {
 		panic(fmt.Sprintf("nn: dense expects %d inputs, got %d", d.In, len(x)))
 	}
-	d.lastIn = x
 	out := make([]float64, d.Out)
 	for o := 0; o < d.Out; o++ {
 		s := d.B[o]
@@ -123,6 +133,11 @@ type ReLU struct {
 // Forward implements Layer.
 func (r *ReLU) Forward(x []float64) []float64 {
 	r.lastIn = x
+	return r.Infer(x)
+}
+
+// Infer implements Layer.
+func (r *ReLU) Infer(x []float64) []float64 {
 	out := make([]float64, len(x))
 	for i, v := range x {
 		if v > 0 {
@@ -156,11 +171,17 @@ type Tanh struct {
 
 // Forward implements Layer.
 func (t *Tanh) Forward(x []float64) []float64 {
+	out := t.Infer(x)
+	t.lastOut = out
+	return out
+}
+
+// Infer implements Layer.
+func (t *Tanh) Infer(x []float64) []float64 {
 	out := make([]float64, len(x))
 	for i, v := range x {
 		out[i] = math.Tanh(v)
 	}
-	t.lastOut = out
 	return out
 }
 
@@ -188,7 +209,15 @@ type Residual struct {
 
 // Forward implements Layer.
 func (r *Residual) Forward(x []float64) []float64 {
-	fx := r.Inner.Forward(x)
+	return r.combine(x, r.Inner.Forward(x))
+}
+
+// Infer implements Layer.
+func (r *Residual) Infer(x []float64) []float64 {
+	return r.combine(x, r.Inner.Infer(x))
+}
+
+func (r *Residual) combine(x, fx []float64) []float64 {
 	if len(fx) != len(x) {
 		panic("nn: residual inner stack changed width")
 	}
@@ -233,6 +262,20 @@ func (o *ODEBlock) Forward(x []float64) []float64 {
 	for k := 0; k < o.Steps; k++ {
 		o.states = append(o.states, cur)
 		fx := o.F.Forward(cur)
+		next := make([]float64, len(cur))
+		for i := range cur {
+			next[i] = cur[i] + o.H*fx[i]
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Infer implements Layer.
+func (o *ODEBlock) Infer(x []float64) []float64 {
+	cur := x
+	for k := 0; k < o.Steps; k++ {
+		fx := o.F.Infer(cur)
 		next := make([]float64, len(cur))
 		for i := range cur {
 			next[i] = cur[i] + o.H*fx[i]

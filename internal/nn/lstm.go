@@ -23,8 +23,8 @@ type LSTM struct {
 	dWi, dWf, dWo, dWg []float64
 
 	// caches for BPTT
-	seq    [][]float64
-	hs, cs [][]float64
+	seq            [][]float64
+	hs, cs         [][]float64
 	is, fs, os, gs [][]float64
 }
 
@@ -112,6 +112,32 @@ func (l *LSTM) Forward(seq [][]float64) []float64 {
 		l.hs[t+1], l.cs[t+1] = nh, nc
 	}
 	return l.Head.Forward(l.hs[T])
+}
+
+// Infer runs the sequence and returns the prediction without touching the
+// BPTT caches, so it is safe for concurrent use on a trained model. The
+// arithmetic is identical to Forward.
+func (l *LSTM) Infer(seq [][]float64) []float64 {
+	h := make([]float64, l.Hidden)
+	c := make([]float64, l.Hidden)
+	for _, x := range seq {
+		iRaw := l.gate(l.Wi, x, h)
+		fRaw := l.gate(l.Wf, x, h)
+		oRaw := l.gate(l.Wo, x, h)
+		gRaw := l.gate(l.Wg, x, h)
+		nh := make([]float64, l.Hidden)
+		nc := make([]float64, l.Hidden)
+		for k := 0; k < l.Hidden; k++ {
+			ik := sigmoid(iRaw[k])
+			fk := sigmoid(fRaw[k])
+			ok := sigmoid(oRaw[k])
+			gk := math.Tanh(gRaw[k])
+			nc[k] = fk*c[k] + ik*gk
+			nh[k] = ok * math.Tanh(nc[k])
+		}
+		h, c = nh, nc
+	}
+	return l.Head.Infer(h)
 }
 
 // Backward backpropagates dL/dOutput through the head and the full

@@ -23,6 +23,14 @@ func (s *Sequential) Forward(x []float64) []float64 {
 	return x
 }
 
+// Infer implements Layer.
+func (s *Sequential) Infer(x []float64) []float64 {
+	for _, l := range s.Layers {
+		x = l.Infer(x)
+	}
+	return x
+}
+
 // Backward implements Layer.
 func (s *Sequential) Backward(grad []float64) []float64 {
 	for i := len(s.Layers) - 1; i >= 0; i-- {

@@ -1,0 +1,141 @@
+// Package parallel provides the bounded worker pool used by SoundBoost's
+// hot paths (signature extraction, detector calibration, experiment table
+// runners). Work items are dispatched by index and results land in
+// index-addressed slots, so the output of every helper is bitwise
+// identical regardless of worker count: workers only change wall-clock,
+// never results. Passing workers == 1 (or calling SetDefaultWorkers(1))
+// keeps every call on the caller's goroutine — the fully serial path.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers holds the process-wide worker count configured by the
+// -workers CLI flag; 0 means "use GOMAXPROCS".
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers sets the process-wide default worker count used when a
+// helper is called with workers <= 0. Passing n <= 0 restores the
+// GOMAXPROCS default. The CLIs thread their -workers flag through here.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// DefaultWorkers returns the effective default worker count: the value set
+// by SetDefaultWorkers, or GOMAXPROCS when unset.
+func DefaultWorkers() int {
+	if n := int(defaultWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// resolve clamps a requested worker count to [1, n] items, applying the
+// process default when the request is <= 0.
+func resolve(workers, n int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ForEach calls fn(i) for every i in [0, n). With workers <= 0 the process
+// default applies; with an effective worker count of 1 every call runs on
+// the caller's goroutine in index order. Panics inside fn are re-raised on
+// the caller's goroutine after all workers drain.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = resolve(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal any
+		panicked bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if !panicked {
+						panicked, panicVal = true, r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked {
+		panic(panicVal)
+	}
+}
+
+// Map computes fn(i) for every i in [0, n) and returns the results in
+// index order. The result slice is identical for any worker count.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}
+
+// MapErr computes fn(i) for every i in [0, n), returning results in index
+// order. Every index runs even after a failure, so the returned error is
+// always the one of the lowest failing index — deterministic for any
+// worker count and schedule.
+func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForEach(workers, n, func(i int) {
+		out[i], errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Run executes the given functions concurrently (bounded by the worker
+// count) and returns the error of the lowest-index failure, if any. It is
+// the fan-out primitive for heterogeneous jobs such as the analyzer's
+// detector calibrations.
+func Run(workers int, fns ...func() error) error {
+	_, err := MapErr(workers, len(fns), func(i int) (struct{}, error) {
+		return struct{}{}, fns[i]()
+	})
+	return err
+}

@@ -20,7 +20,7 @@ type LTIModel struct {
 	// A is the state transition matrix (n x n).
 	A *mathx.Matrix
 	// B is the control matrix (n x m).
-	B *mathx.Matrix
+	B      *mathx.Matrix
 	fitted bool
 }
 

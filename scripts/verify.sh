@@ -1,0 +1,26 @@
+#!/bin/sh
+# verify.sh — the repository's full verification gate:
+#   gofmt (fail on any unformatted file), go vet, build, race-enabled tests.
+# Run from the repo root, or via `make verify`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "verify: OK"
