@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench verify fmt
+.PHONY: build test race bench bench-json cover verify staticcheck fmt
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,33 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem
 
-fmt:
-	gofmt -w .
+# bench-json writes the next BENCH_<n>.json perf artifact: a
+# schema-versioned machine-readable report (wall time, per-stage
+# timings, allocations, environment) from an instrumented benchtab run.
+bench-json:
+	@n=1; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
+	echo "writing BENCH_$$n.json"; \
+	$(GO) run ./cmd/benchtab -scale bench -run timing,rca -bench-json BENCH_$$n.json && \
+	$(GO) run ./cmd/benchtab -validate-bench BENCH_$$n.json
 
-# Full gate: gofmt -l (fails on output), go vet, build, race-enabled tests.
+# cover produces coverage.out and prints the total; CI publishes the
+# per-package summary from the same profile.
+cover:
+	$(GO) test -count=1 -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+	@echo "full per-function breakdown: $(GO) tool cover -func=coverage.out"
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "warning: staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# Full gate: gofmt -l (fails on output), go vet, staticcheck (enforced
+# in CI), build, race-enabled uncached tests.
 verify:
 	sh scripts/verify.sh
+
+fmt:
+	gofmt -w .

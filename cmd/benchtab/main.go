@@ -9,6 +9,16 @@
 //
 // Available runs: table1, table2, table3, imu, fig2, fig3, fig6, fig7,
 // importance, window, families, interference, ablation, timing, rca, all.
+//
+// Observability:
+//
+//	benchtab -debug-addr :8080 ...          # live /debug/metrics + pprof
+//	benchtab -run timing,rca -bench-json BENCH_2.json
+//	benchtab -validate-bench BENCH_2.json   # schema-check an artifact
+//
+// -bench-json enables the obs layer for the run and writes a
+// schema-versioned machine-readable benchmark report (wall time,
+// per-stage timings, allocations, environment) on exit.
 package main
 
 import (
@@ -20,6 +30,7 @@ import (
 
 	"soundboost/internal/dataset"
 	"soundboost/internal/experiments"
+	"soundboost/internal/obs"
 	"soundboost/internal/parallel"
 )
 
@@ -32,14 +43,40 @@ func main() {
 
 func run() error {
 	var (
-		scaleName = flag.String("scale", "bench", "experiment scale: quick|bench|paper")
-		runs      = flag.String("run", "all", "comma-separated experiment list")
-		verbose   = flag.Bool("v", false, "stream progress")
-		csvDir    = flag.String("csv", "", "directory to export figure data as CSV (empty = no export)")
-		workers   = flag.Int("workers", 0, "worker-pool size for parallel stages (0 = GOMAXPROCS, 1 = serial)")
+		scaleName     = flag.String("scale", "bench", "experiment scale: quick|bench|paper")
+		runs          = flag.String("run", "all", "comma-separated experiment list")
+		verbose       = flag.Bool("v", false, "stream progress")
+		csvDir        = flag.String("csv", "", "directory to export figure data as CSV (empty = no export)")
+		workers       = flag.Int("workers", 0, "worker-pool size for parallel stages (0 = GOMAXPROCS, 1 = serial)")
+		debugAddr     = flag.String("debug-addr", "", "serve /debug/metrics and /debug/pprof on this address (enables the obs layer)")
+		benchJSON     = flag.String("bench-json", "", "write a schema-versioned benchmark report to this path (enables the obs layer)")
+		validateBench = flag.String("validate-bench", "", "validate a BENCH_*.json report and exit")
 	)
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
+
+	if *validateBench != "" {
+		report, err := obs.ReadBenchFile(*validateBench)
+		if err != nil {
+			return fmt.Errorf("validate %s: %w", *validateBench, err)
+		}
+		fmt.Printf("%s: valid (schema v%d, scale %s, %.1fs wall, %d stages)\n",
+			*validateBench, report.SchemaVersion, report.Scale, report.WallSeconds, len(report.Stages))
+		return nil
+	}
+
+	if *debugAddr != "" {
+		addr, err := obs.Serve(*debugAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("debug endpoint on http://%s/debug/metrics\n", addr)
+	}
+
+	var bench *obs.BenchStart
+	if *benchJSON != "" {
+		bench = obs.StartBench()
+	}
 
 	var scale experiments.Scale
 	switch *scaleName {
@@ -331,6 +368,26 @@ func run() error {
 		return nil
 	}); err != nil {
 		return err
+	}
+
+	if bench != nil {
+		var runList []string
+		for _, r := range strings.Split(*runs, ",") {
+			if r = strings.TrimSpace(r); r != "" {
+				runList = append(runList, r)
+			}
+		}
+		report := bench.Collect(obs.BenchMeta{
+			Tool:    "benchtab",
+			Scale:   scale.Name,
+			Runs:    runList,
+			Workers: parallel.DefaultWorkers(),
+		})
+		if err := obs.WriteBenchFile(*benchJSON, report); err != nil {
+			return fmt.Errorf("bench-json: %w", err)
+		}
+		fmt.Printf("bench report written to %s (%d stages, %.1fs wall)\n",
+			*benchJSON, len(report.Stages), report.WallSeconds)
 	}
 
 	return nil

@@ -14,6 +14,12 @@
 //
 //	soundboost rca -analyzer analyzer.json -flight incident.sbf
 //	soundboost rca -model model.json -calib flights/ -flight incident.sbf
+//
+// Every subcommand accepts -debug-addr to enable the observability
+// layer and serve live pipeline metrics (/debug/metrics) and pprof
+// (/debug/pprof/) while it runs:
+//
+//	soundboost rca -debug-addr 127.0.0.1:8080 -flight incident.sbf ...
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"soundboost/internal/acoustics"
 	soundboost "soundboost/internal/core"
 	"soundboost/internal/dataset"
+	"soundboost/internal/obs"
 	"soundboost/internal/parallel"
 	"soundboost/internal/sim"
 )
@@ -51,6 +58,24 @@ func run(args []string) error {
 		return runRCA(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q (want train, calibrate or rca)", args[0])
+	}
+}
+
+// debugAddrFlag registers the shared -debug-addr flag on a subcommand
+// flag set and returns a func that starts the debug endpoint (enabling
+// the obs layer) once flags are parsed.
+func debugAddrFlag(fs *flag.FlagSet) func() error {
+	addr := fs.String("debug-addr", "", "serve /debug/metrics and /debug/pprof on this address (enables the obs layer)")
+	return func() error {
+		if *addr == "" {
+			return nil
+		}
+		bound, err := obs.Serve(*addr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("debug endpoint on http://%s/debug/metrics\n", bound)
+		return nil
 	}
 }
 
@@ -90,10 +115,14 @@ func runTrain(args []string) error {
 		augment   = fs.Float64("augment", 5, "time-shift augmentation factor (0 = none)")
 		workers   = fs.Int("workers", 0, "worker-pool size for parallel stages (0 = GOMAXPROCS, 1 = serial)")
 	)
+	startDebug := debugAddrFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	parallel.SetDefaultWorkers(*workers)
+	if err := startDebug(); err != nil {
+		return err
+	}
 	flights, err := loadFlightDir(*flightDir)
 	if err != nil {
 		return err
@@ -153,10 +182,14 @@ func runCalibrate(args []string) error {
 		outPath   = fs.String("out", "analyzer.json", "output analyzer path")
 		workers   = fs.Int("workers", 0, "worker-pool size for parallel stages (0 = GOMAXPROCS, 1 = serial)")
 	)
+	startDebug := debugAddrFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	parallel.SetDefaultWorkers(*workers)
+	if err := startDebug(); err != nil {
+		return err
+	}
 	analyzer, err := buildAnalyzer(*modelPath, *calibDir)
 	if err != nil {
 		return err
@@ -214,10 +247,14 @@ func runRCA(args []string) error {
 		flightPath   = fs.String("flight", "", "flight to analyse (.sbf)")
 		workers      = fs.Int("workers", 0, "worker-pool size for parallel stages (0 = GOMAXPROCS, 1 = serial)")
 	)
+	startDebug := debugAddrFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	parallel.SetDefaultWorkers(*workers)
+	if err := startDebug(); err != nil {
+		return err
+	}
 	if *flightPath == "" {
 		return fmt.Errorf("-flight is required")
 	}

@@ -242,6 +242,8 @@ func NewGPSDetector(model *AcousticModel, benignFlights []*dataset.Flight, cfg G
 		cfg.PeakQuantile = 0.75
 	}
 	d := &GPSDetector{cfg: cfg, model: model}
+	span := gpsCalibTimer.Start()
+	defer span.Stop()
 	peaks, err := parallel.MapErr(0, len(benignFlights), func(i int) (float64, error) {
 		trace, err := d.runFlight(benignFlights[i])
 		if err != nil {
@@ -267,6 +269,8 @@ func (d *GPSDetector) Mode() kalman.Mode { return d.cfg.Mode }
 
 // Detect runs GPS RCA over a flight and returns the verdict.
 func (d *GPSDetector) Detect(f *dataset.Flight) (GPSVerdict, error) {
+	span := gpsDetectTimer.Start()
+	defer span.Stop()
 	trace, err := d.runFlight(f)
 	if err != nil {
 		return GPSVerdict{}, err

@@ -163,6 +163,8 @@ func NewIMUDetector(model *AcousticModel, benignFlights []*dataset.Flight, cfg I
 	if cfg.DetectPeriods < 1 {
 		cfg.DetectPeriods = 1
 	}
+	span := imuCalibTimer.Start()
+	defer span.Stop()
 	perFlight, err := parallel.MapErr(0, len(benignFlights), func(i int) ([]windowResiduals, error) {
 		return flightResidualsStream(model, benignFlights[i], cfg.Stream)
 	})
@@ -221,6 +223,8 @@ type IMUVerdict struct {
 
 // Detect runs the IMU RCA stage over a flight.
 func (d *IMUDetector) Detect(f *dataset.Flight) (IMUVerdict, error) {
+	span := imuDetectTimer.Start()
+	defer span.Stop()
 	rs, err := flightResidualsStream(d.model, f, d.cfg.Stream)
 	if err != nil {
 		return IMUVerdict{}, err

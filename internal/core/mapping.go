@@ -307,7 +307,9 @@ func TrainModel(trainFlights, valFlights []*dataset.Flight, cfg MappingConfig) (
 // It goes through the network's cache-free inference path and is safe for
 // concurrent use.
 func (m *AcousticModel) Predict(features []float64) mathx.Vec3 {
+	span := predictTimer.Start()
 	out := m.labNorm.invert(m.net.Infer(m.featNorm.apply(features)))
+	span.Stop()
 	return mathx.Vec3{X: out[0], Y: out[1], Z: out[2]}
 }
 

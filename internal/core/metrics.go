@@ -1,0 +1,30 @@
+package soundboost
+
+import "soundboost/internal/obs"
+
+// Stage metrics for the RCA pipeline, resolved once at init and gated
+// by obs.Enable. Timer semantics the tests rely on:
+//
+//   - core.extract.filter fires once per NewExtractor (per-recording
+//     low-pass filtering).
+//   - core.signature.window fires exactly once per Features call, i.e.
+//     once per extracted signature window (including augmented and
+//     rejected windows).
+//   - core.predict fires once per AcousticModel prediction.
+//   - core.rca.imu.detect / core.rca.gps.detect fire once per flight
+//     per stage; core.rca.analyze wraps the full two-stage RCA.
+//   - core.calibrate.* time the one-off detector calibrations.
+var (
+	extractFilterTimer = obs.Default.Timer("core.extract.filter")
+	windowTimer        = obs.Default.Timer("core.signature.window")
+	windowsRejected    = obs.Default.Counter("core.signature.windows_rejected")
+	predictTimer       = obs.Default.Timer("core.predict")
+	imuDetectTimer     = obs.Default.Timer("core.rca.imu.detect")
+	gpsDetectTimer     = obs.Default.Timer("core.rca.gps.detect")
+	analyzeTimer       = obs.Default.Timer("core.rca.analyze")
+	imuCalibTimer      = obs.Default.Timer("core.calibrate.imu")
+	gpsCalibTimer      = obs.Default.Timer("core.calibrate.gps")
+	analyzerCalibTimer = obs.Default.Timer("core.calibrate.analyzer")
+	reportsIMU         = obs.Default.Counter("core.rca.reports_imu")
+	reportsGPS         = obs.Default.Counter("core.rca.reports_gps")
+)

@@ -80,6 +80,8 @@ func NewAnalyzer(model *AcousticModel, benignFlights []*dataset.Flight) (*Analyz
 	if model == nil {
 		return nil, fmt.Errorf("soundboost: nil model")
 	}
+	span := analyzerCalibTimer.Start()
+	defer span.Stop()
 	var (
 		imu                 *IMUDetector
 		audioOnly, audioIMU *GPSDetector
@@ -118,6 +120,8 @@ func NewAnalyzer(model *AcousticModel, benignFlights []*dataset.Flight) (*Analyz
 
 // Analyze runs the full two-stage RCA over a flight.
 func (a *Analyzer) Analyze(f *dataset.Flight) (Report, error) {
+	span := analyzeTimer.Start()
+	defer span.Stop()
 	report := Report{Flight: f.Name}
 
 	imuVerdict, err := a.IMU.Detect(f)
@@ -141,10 +145,14 @@ func (a *Analyzer) Analyze(f *dataset.Flight) (Report, error) {
 	switch {
 	case imuVerdict.Attacked && gpsVerdict.Attacked:
 		report.Cause = CauseIMUAndGPS
+		reportsIMU.Inc()
+		reportsGPS.Inc()
 	case imuVerdict.Attacked:
 		report.Cause = CauseIMU
+		reportsIMU.Inc()
 	case gpsVerdict.Attacked:
 		report.Cause = CauseGPS
+		reportsGPS.Inc()
 	default:
 		report.Cause = CauseNone
 	}

@@ -162,6 +162,8 @@ func NewExtractor(rec *acoustics.Recording, cfg SignatureConfig) (*Extractor, er
 		return nil, err
 	}
 	e := &Extractor{cfg: cfg, rate: rec.SampleRate}
+	span := extractFilterTimer.Start()
+	defer span.Stop()
 	// Each channel filters independently; fan the four mics out across the
 	// worker pool. Filter state is per-channel, so results are identical to
 	// the serial loop.
@@ -197,13 +199,17 @@ func (e *Extractor) Duration() float64 {
 // augmentation (a stretched window simulates headwind-lengthened
 // actuation). Returns nil when the window falls outside the recording.
 func (e *Extractor) Features(t0, windowSeconds float64) []float64 {
+	span := windowTimer.Start()
+	defer span.Stop()
 	start := int(t0 * e.rate)
 	total := int(windowSeconds * e.rate)
 	if start < 0 || total <= 0 || start+total > len(e.filtered[0]) {
+		windowsRejected.Inc()
 		return nil
 	}
 	sub := total / e.cfg.SubFrames
 	if sub < 8 {
+		windowsRejected.Inc()
 		return nil
 	}
 	nfft := dsp.NextPow2(sub)

@@ -5,6 +5,16 @@ import (
 	"math/bits"
 	"math/cmplx"
 	"sync"
+
+	"soundboost/internal/obs"
+)
+
+// Stage metrics, resolved once at init. Recording is gated by
+// obs.Enable, so the disabled path costs one atomic load per transform.
+var (
+	fftTimer      = obs.Default.Timer("dsp.fft.transform")
+	fftPlanCount  = obs.Default.Counter("dsp.fft.plans_built")
+	fftBluesteins = obs.Default.Counter("dsp.fft.bluestein_transforms")
 )
 
 // Plan holds everything size-dependent an FFT of length n needs: the
@@ -48,6 +58,7 @@ func PlanFFT(n int) *Plan {
 	}
 	p := newPlan(n)
 	actual, _ := planCache.LoadOrStore(n, p)
+	fftPlanCount.Inc()
 	return actual.(*Plan)
 }
 
@@ -126,9 +137,12 @@ func (p *Plan) Transform(x []complex128, inverse bool) {
 	if p.n <= 1 {
 		return
 	}
+	span := fftTimer.Start()
+	defer span.Stop()
 	if p.bs == nil {
 		p.radix2(x, inverse)
 	} else {
+		fftBluesteins.Inc()
 		p.bluestein(x, inverse)
 	}
 	if inverse {

@@ -9,7 +9,18 @@ import (
 	"soundboost/internal/dataset"
 	"soundboost/internal/kalman"
 	"soundboost/internal/nn"
+	"soundboost/internal/obs"
 	"soundboost/internal/parallel"
+)
+
+// Lab-build stage timers, gated by obs.Enable: corpus generation (all
+// simulated flights), model training, and detector calibration, plus
+// the end-to-end build.
+var (
+	labBuildTimer     = obs.Default.Timer("experiments.lab.build")
+	labCorpusTimer    = obs.Default.Timer("experiments.lab.corpus")
+	labTrainTimer     = obs.Default.Timer("experiments.lab.train")
+	labCalibrateTimer = obs.Default.Timer("experiments.lab.calibrate")
 )
 
 // Lab holds the trained model, calibrated detectors, and the benign
@@ -80,6 +91,9 @@ func NewLab(scale Scale, opts ...LabOption) (*Lab, error) {
 		logf = func(string, ...any) {}
 	}
 	start := time.Now()
+	buildSpan := labBuildTimer.Start()
+	defer buildSpan.Stop()
+	corpusSpan := labCorpusTimer.Start()
 
 	sigCfg := soundboost.DefaultSignatureConfig(scale.SignatureConfig())
 	mapCfg := soundboost.DefaultMappingConfig(sigCfg)
@@ -148,8 +162,12 @@ func NewLab(scale Scale, opts ...LabOption) (*Lab, error) {
 		}
 	}
 
+	corpusSpan.Stop()
+
 	logf("training model on %d windows (%d val)", len(xs), len(valX))
+	trainSpan := labTrainTimer.Start()
 	model, hist, err := soundboost.TrainModelFromSamples(xs, ys, valX, valY, mapCfg)
+	trainSpan.Stop()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: train model: %w", err)
 	}
@@ -163,6 +181,8 @@ func NewLab(scale Scale, opts ...LabOption) (*Lab, error) {
 	}
 
 	// --- Calibration corpus: mission-diverse benign flights.
+	calibSpan := labCalibrateTimer.Start()
+	defer calibSpan.Stop()
 	lab.Calib, err = parallel.MapErr(0, scale.CalibFlights, func(i int) (*dataset.Flight, error) {
 		missions := trainingMissions(scale, i+2)
 		mission := missions[i%len(missions)]

@@ -3,7 +3,13 @@ package nn
 import (
 	"fmt"
 	"math/rand"
+
+	"soundboost/internal/obs"
 )
+
+// inferCalls counts cache-free inference passes (including nested
+// sub-network passes inside residual/ODE blocks). Gated by obs.Enable.
+var inferCalls = obs.Default.Counter("nn.infer.calls")
 
 // Sequential chains layers.
 type Sequential struct {
@@ -25,6 +31,7 @@ func (s *Sequential) Forward(x []float64) []float64 {
 
 // Infer implements Layer.
 func (s *Sequential) Infer(x []float64) []float64 {
+	inferCalls.Inc()
 	for _, l := range s.Layers {
 		x = l.Infer(x)
 	}

@@ -4,7 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+
+	"soundboost/internal/obs"
 )
+
+// epochTimer times one optimisation epoch (shuffle + minibatch sweep +
+// validation pass). Gated by obs.Enable.
+var epochTimer = obs.Default.Timer("nn.train.epoch")
 
 // ErrBadDataset is returned when training data is malformed.
 var ErrBadDataset = errors.New("nn: bad dataset")
@@ -90,6 +96,7 @@ func Train(model *Sequential, xs, ys [][]float64, cfg TrainConfig) (TrainHistory
 
 	var hist TrainHistory
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		span := epochTimer.Start()
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		var epochLoss float64
 		var samples int
@@ -124,6 +131,7 @@ func Train(model *Sequential, xs, ys [][]float64, cfg TrainConfig) (TrainHistory
 		} else if cfg.Verbose {
 			logf("epoch %3d: train MSE %.4f", epoch, trainMSE)
 		}
+		span.Stop()
 	}
 	return hist, nil
 }

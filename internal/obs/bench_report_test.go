@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goodReport returns a minimal schema-valid report.
+func goodReport() *BenchReport {
+	return &BenchReport{
+		SchemaVersion: BenchSchemaVersion,
+		Tool:          "benchtab",
+		Scale:         "bench",
+		Runs:          []string{"timing"},
+		Workers:       4,
+		GoVersion:     "go1.22.0",
+		GOOS:          "linux",
+		GOARCH:        "amd64",
+		NumCPU:        4,
+		UnixTime:      1754300000,
+		WallSeconds:   12.5,
+		Stages: []BenchStage{
+			{Name: "core.rca.imu.detect", Count: 3, TotalSeconds: 0.9, MeanSeconds: 0.3,
+				P50Seconds: 0.3, P95Seconds: 0.4, P99Seconds: 0.4, MinSeconds: 0.2, MaxSeconds: 0.4},
+			{Name: "dsp.fft.transform", Count: 100, TotalSeconds: 0.1, MeanSeconds: 0.001,
+				P50Seconds: 0.001, P95Seconds: 0.002, P99Seconds: 0.002, MinSeconds: 0.0005, MaxSeconds: 0.002},
+		},
+	}
+}
+
+func TestBenchReportValidate(t *testing.T) {
+	if err := goodReport().Validate(); err != nil {
+		t.Fatalf("good report rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*BenchReport)
+	}{
+		{"wrong schema version", func(r *BenchReport) { r.SchemaVersion = 99 }},
+		{"missing tool", func(r *BenchReport) { r.Tool = "" }},
+		{"missing scale", func(r *BenchReport) { r.Scale = "" }},
+		{"missing go version", func(r *BenchReport) { r.GoVersion = "" }},
+		{"bad cpu count", func(r *BenchReport) { r.NumCPU = 0 }},
+		{"zero wall time", func(r *BenchReport) { r.WallSeconds = 0 }},
+		{"no stages", func(r *BenchReport) { r.Stages = nil }},
+		{"unnamed stage", func(r *BenchReport) { r.Stages[0].Name = "" }},
+		{"zero-count stage", func(r *BenchReport) { r.Stages[0].Count = 0 }},
+		{"negative timing", func(r *BenchReport) { r.Stages[0].TotalSeconds = -1 }},
+		{"max below min", func(r *BenchReport) { r.Stages[0].MaxSeconds = 0.01 }},
+		{"unsorted stages", func(r *BenchReport) {
+			r.Stages[0], r.Stages[1] = r.Stages[1], r.Stages[0]
+		}},
+	}
+	for _, tc := range cases {
+		r := goodReport()
+		tc.mutate(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: invalid report accepted", tc.name)
+		}
+	}
+}
+
+func TestParseBenchReportStrict(t *testing.T) {
+	data, err := json.Marshal(goodReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseBenchReport(data); err != nil {
+		t.Fatalf("valid payload rejected: %v", err)
+	}
+
+	unknown := strings.Replace(string(data), `"tool"`, `"bogus_field":1,"tool"`, 1)
+	if _, err := ParseBenchReport([]byte(unknown)); err == nil {
+		t.Error("payload with unknown field accepted")
+	}
+	if _, err := ParseBenchReport(append(data, data...)); err == nil {
+		t.Error("payload with trailing data accepted")
+	}
+	if _, err := ParseBenchReport([]byte("not json")); err == nil {
+		t.Error("non-JSON payload accepted")
+	}
+}
+
+func TestBenchFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_1.json")
+	want := goodReport()
+	if err := WriteBenchFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scale != want.Scale || got.WallSeconds != want.WallSeconds || len(got.Stages) != len(want.Stages) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, want)
+	}
+	if got.Stages[0] != want.Stages[0] {
+		t.Errorf("stage round trip mismatch: %+v vs %+v", got.Stages[0], want.Stages[0])
+	}
+}
+
+func TestWriteBenchFileRejectsInvalid(t *testing.T) {
+	bad := goodReport()
+	bad.Stages = nil
+	path := filepath.Join(t.TempDir(), "BENCH_bad.json")
+	if err := WriteBenchFile(path, bad); err == nil {
+		t.Fatal("invalid report written without error")
+	}
+}
+
+func TestStartBenchCollect(t *testing.T) {
+	prev := Enabled()
+	t.Cleanup(func() {
+		if !prev {
+			Disable()
+		}
+		Default.Reset()
+	})
+
+	b := StartBench()
+	tm := Default.Timer("test.bench.stage")
+	tm.Observe(10 * time.Millisecond)
+	tm.Observe(30 * time.Millisecond)
+	Default.Counter("test.bench.items").Add(7)
+
+	report := b.Collect(BenchMeta{Tool: "benchtab", Scale: "quick", Runs: []string{"timing"}, Workers: 2})
+	if err := report.Validate(); err != nil {
+		t.Fatalf("collected report invalid: %v", err)
+	}
+	var stage *BenchStage
+	for i := range report.Stages {
+		if report.Stages[i].Name == "test.bench.stage" {
+			stage = &report.Stages[i]
+		}
+	}
+	if stage == nil {
+		t.Fatal("collected report missing recorded stage")
+	}
+	if stage.Count != 2 || stage.TotalSeconds < 0.039 || stage.TotalSeconds > 0.041 {
+		t.Errorf("stage stats = %+v", stage)
+	}
+	if report.Counters["test.bench.items"] != 7 {
+		t.Errorf("counter = %d, want 7", report.Counters["test.bench.items"])
+	}
+	if report.WallSeconds <= 0 || report.GoVersion == "" {
+		t.Errorf("environment fields missing: %+v", report)
+	}
+	// Stage list must be sorted for stable diffs.
+	for i := 1; i < len(report.Stages); i++ {
+		if report.Stages[i-1].Name >= report.Stages[i].Name {
+			t.Errorf("stages unsorted: %q then %q", report.Stages[i-1].Name, report.Stages[i].Name)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards the one-shot expvar publication of the default
+// registry (expvar.Publish panics on duplicate names).
+var expvarOnce sync.Once
+
+// publishExpvar exposes the default registry under the "soundboost"
+// expvar key, so /debug/vars carries the metrics next to the runtime's
+// memstats.
+func publishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("soundboost", expvar.Func(func() any {
+			return Default.Snapshot()
+		}))
+	})
+}
+
+// Handler returns the debug mux: registry JSON at /debug/metrics,
+// expvar at /debug/vars, and the pprof suite at /debug/pprof/.
+func Handler() http.Handler {
+	publishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := Default.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintln(w, "soundboost debug endpoint: /debug/metrics /debug/vars /debug/pprof/")
+	})
+	return mux
+}
+
+// Serve enables recording and serves the debug handler on addr in a
+// background goroutine. It returns the bound address (useful with
+// ":0") once the listener is up. The server lives for the remainder of
+// the process, matching the CLIs' usage.
+func Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	Enable()
+	srv := &http.Server{Handler: Handler()}
+	go func() {
+		// The listener closes only at process exit; Serve's error is
+		// uninteresting then.
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}

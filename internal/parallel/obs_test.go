@@ -1,0 +1,69 @@
+package parallel
+
+import (
+	"testing"
+
+	"soundboost/internal/obs"
+)
+
+// TestPoolMetrics pins the pool's instrumentation: item/batch counters
+// advance, the queue depth drains back to zero, and per-worker
+// utilization lands one sample per worker per batch.
+func TestPoolMetrics(t *testing.T) {
+	prev := obs.Enabled()
+	obs.Enable()
+	t.Cleanup(func() {
+		if !prev {
+			obs.Disable()
+		}
+	})
+
+	items := obs.Default.Counter("parallel.items")
+	batches := obs.Default.Counter("parallel.batches")
+	depth := obs.Default.Gauge("parallel.queue_depth")
+	util := obs.Default.Histogram("parallel.worker.utilization")
+
+	itemsBefore, batchesBefore, utilBefore := items.Value(), batches.Value(), util.Count()
+
+	const n, workers = 64, 4
+	ForEach(workers, n, func(i int) {})
+
+	if got := items.Value() - itemsBefore; got != n {
+		t.Errorf("items counter advanced by %d, want %d", got, n)
+	}
+	if got := batches.Value() - batchesBefore; got != 1 {
+		t.Errorf("batches counter advanced by %d, want 1", got)
+	}
+	if got := depth.Value(); got != 0 {
+		t.Errorf("queue depth after drain = %g, want 0", got)
+	}
+	if got := util.Count() - utilBefore; got != workers {
+		t.Errorf("utilization samples advanced by %d, want %d", got, workers)
+	}
+
+	// The serial path records under its own counter and never touches
+	// batch metrics.
+	serial := obs.Default.Counter("parallel.items_serial")
+	serialBefore, batchesBefore := serial.Value(), batches.Value()
+	ForEach(1, 10, func(i int) {})
+	if got := serial.Value() - serialBefore; got != 10 {
+		t.Errorf("serial items advanced by %d, want 10", got)
+	}
+	if got := batches.Value() - batchesBefore; got != 0 {
+		t.Errorf("serial path advanced batch counter by %d", got)
+	}
+}
+
+// TestPoolMetricsDisabled pins the off-by-default contract for the
+// pool: a disabled layer records nothing.
+func TestPoolMetricsDisabled(t *testing.T) {
+	if obs.Enabled() {
+		t.Skip("obs layer enabled by another harness")
+	}
+	items := obs.Default.Counter("parallel.items")
+	before := items.Value()
+	ForEach(4, 32, func(i int) {})
+	if got := items.Value() - before; got != 0 {
+		t.Errorf("disabled layer counted %d items", got)
+	}
+}

@@ -11,6 +11,22 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"soundboost/internal/obs"
+)
+
+// Pool metrics, gated by obs.Enable: batch/item throughput counters,
+// the live queue depth (items dispatched but not yet claimed by a
+// worker, summed over in-flight batches), and per-worker utilization
+// (busy time over batch wall time, one sample per worker per batch).
+var (
+	poolBatches     = obs.Default.Counter("parallel.batches")
+	poolItems       = obs.Default.Counter("parallel.items")
+	poolSerialItems = obs.Default.Counter("parallel.items_serial")
+	poolQueueDepth  = obs.Default.Gauge("parallel.queue_depth")
+	poolUtilization = obs.Default.Histogram("parallel.worker.utilization")
+	poolBatchTimer  = obs.Default.Timer("parallel.batch")
 )
 
 // defaultWorkers holds the process-wide worker count configured by the
@@ -61,10 +77,22 @@ func ForEach(workers, n int, fn func(i int)) {
 	}
 	workers = resolve(workers, n)
 	if workers == 1 {
+		poolSerialItems.Add(int64(n))
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
+	}
+	// Metrics only record while the layer is enabled; the instrumented
+	// branch is skipped wholesale otherwise so the hot path stays at one
+	// atomic load per batch.
+	instrumented := obs.Enabled()
+	var batchStart time.Time
+	if instrumented {
+		poolBatches.Inc()
+		poolItems.Add(int64(n))
+		poolQueueDepth.Add(float64(n))
+		batchStart = time.Now()
 	}
 	var (
 		next     atomic.Int64
@@ -86,16 +114,32 @@ func ForEach(workers, n int, fn func(i int)) {
 					panicMu.Unlock()
 				}
 			}()
+			var busy time.Duration
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
-					return
+					break
+				}
+				if instrumented {
+					poolQueueDepth.Add(-1)
+					t0 := time.Now()
+					fn(i)
+					busy += time.Since(t0)
+					continue
 				}
 				fn(i)
+			}
+			if instrumented {
+				if wall := time.Since(batchStart); wall > 0 {
+					poolUtilization.Observe(busy.Seconds() / wall.Seconds())
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if instrumented {
+		poolBatchTimer.Observe(time.Since(batchStart))
+	}
 	if panicked {
 		panic(panicVal)
 	}
