@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json cover verify staticcheck fmt
+.PHONY: build test race bench bench-json cover verify staticcheck fmt live-smoke
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,12 @@ staticcheck:
 # in CI), build, race-enabled uncached tests.
 verify:
 	sh scripts/verify.sh
+
+# live-smoke exercises the streaming pipeline end to end with the CLI:
+# flightgen corpus -> train -> calibrate -> `soundboost live` replay of a
+# benign and an attacked flight over the mavbus (reduced-rate, ~seconds).
+live-smoke:
+	sh scripts/live_smoke.sh
 
 fmt:
 	gofmt -w .

@@ -45,6 +45,7 @@ func run() error {
 		offsetY     = flag.Float64("offset-y", 0, "GPS spoof offset east (m)")
 		offsetZ     = flag.Float64("offset-z", 0, "GPS spoof offset down (m)")
 		magnitude   = flag.Float64("magnitude", 0, "IMU bias magnitude (0 = mode default)")
+		fast        = flag.Bool("fast", false, "reduced-rate preset (4 kHz audio, 250 Hz physics) for quick smoke runs")
 	)
 	flag.Parse()
 
@@ -60,6 +61,18 @@ func run() error {
 	}
 
 	cfg := dataset.DefaultGenConfig(m, *seed)
+	if *fast {
+		// Same reduced-rate layout the examples use: the acoustic plan is
+		// scaled into the 4 kHz Nyquist range so everything downstream
+		// (training, calibration, RCA, live streaming) works unchanged.
+		cfg.World.PhysicsRate = 250
+		cfg.World.ControlRate = 125
+		cfg.World.IMU.SampleRate = 125
+		cfg.World.Controller.MaxVel = 3
+		cfg.Synth.SampleRate = 4000
+		cfg.Synth.MechFreq = 900
+		cfg.Synth.AeroFreq = 1500
+	}
 	switch *wind {
 	case "calm":
 		cfg.World.Wind = sim.CalmWind()

@@ -15,6 +15,11 @@
 //	soundboost rca -analyzer analyzer.json -flight incident.sbf
 //	soundboost rca -model model.json -calib flights/ -flight incident.sbf
 //
+// Replay a recorded flight through the mavbus as live telemetry streams
+// and run the online RCA engine over it in (scaled) real time:
+//
+//	soundboost live -analyzer analyzer.json -flight incident.sbf -speed 10
+//
 // Every subcommand accepts -debug-addr to enable the observability
 // layer and serve live pipeline metrics (/debug/metrics) and pprof
 // (/debug/pprof/) while it runs:
@@ -23,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,9 +39,11 @@ import (
 	"soundboost/internal/acoustics"
 	soundboost "soundboost/internal/core"
 	"soundboost/internal/dataset"
+	"soundboost/internal/mavbus"
 	"soundboost/internal/obs"
 	"soundboost/internal/parallel"
 	"soundboost/internal/sim"
+	"soundboost/internal/stream"
 )
 
 func main() {
@@ -47,7 +55,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: soundboost <train|rca> [flags]")
+		return fmt.Errorf("usage: soundboost <train|calibrate|rca|live> [flags]")
 	}
 	switch args[0] {
 	case "train":
@@ -56,8 +64,10 @@ func run(args []string) error {
 		return runCalibrate(args[1:])
 	case "rca":
 		return runRCA(args[1:])
+	case "live":
+		return runLive(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want train, calibrate or rca)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want train, calibrate, rca or live)", args[0])
 	}
 }
 
@@ -284,6 +294,105 @@ func runRCA(args []string) error {
 	if err != nil {
 		return err
 	}
+	fmt.Print(report.String())
+	if flight.Scenario.IsAttack() {
+		fmt.Printf("  (ground truth: %s during [%.1f, %.1f))\n",
+			flight.Scenario.Kind, flight.Scenario.Window.Start, flight.Scenario.Window.End)
+	} else {
+		fmt.Println("  (ground truth: benign)")
+	}
+	return nil
+}
+
+// runLive replays a recorded flight onto an in-process mavbus as the
+// audio/IMU/GPS streams a companion computer would see, and runs the
+// online engine over them. The verdict on a clean replay is identical to
+// `soundboost rca` over the same file; -drop/-audio-drop inject loss to
+// exercise the degraded paths.
+func runLive(args []string) error {
+	fs := flag.NewFlagSet("live", flag.ContinueOnError)
+	var (
+		analyzerPath = fs.String("analyzer", "", "saved analyzer path (skips calibration)")
+		modelPath    = fs.String("model", "model.json", "trained model path (when no -analyzer)")
+		calibDir     = fs.String("calib", "flights", "directory of benign calibration flights (when no -analyzer)")
+		flightPath   = fs.String("flight", "", "flight to replay (.sbf)")
+		speed        = fs.Float64("speed", 10, "replay speed factor (1 = real time, 0 = as fast as possible)")
+		frameSec     = fs.Float64("frame", 0.05, "audio frame length in seconds")
+		dropRate     = fs.Float64("drop", 0, "telemetry (IMU/GPS) message drop probability")
+		audioDrop    = fs.Float64("audio-drop", 0, "audio frame drop probability")
+		seed         = fs.Int64("seed", 1, "drop-injection seed")
+		buffer       = fs.Int("buffer", 4096, "per-topic subscription buffer depth")
+		workers      = fs.Int("workers", 0, "worker-pool size for parallel stages (0 = GOMAXPROCS, 1 = serial)")
+	)
+	startDebug := debugAddrFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	parallel.SetDefaultWorkers(*workers)
+	if err := startDebug(); err != nil {
+		return err
+	}
+	if *flightPath == "" {
+		return fmt.Errorf("-flight is required")
+	}
+	var analyzer *soundboost.Analyzer
+	if *analyzerPath != "" {
+		af, err := os.Open(*analyzerPath)
+		if err != nil {
+			return err
+		}
+		defer af.Close()
+		analyzer, err = soundboost.LoadAnalyzer(af)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		analyzer, err = buildAnalyzer(*modelPath, *calibDir)
+		if err != nil {
+			return err
+		}
+	}
+	flight, err := dataset.LoadFile(*flightPath)
+	if err != nil {
+		return err
+	}
+
+	bus := mavbus.NewBus(0)
+	eng, err := stream.NewEngine(analyzer, flight.Audio.SampleRate, stream.Config{
+		Buffer:     *buffer,
+		FlightName: flight.Name,
+	})
+	if err != nil {
+		return err
+	}
+	if err := eng.Attach(bus); err != nil {
+		return err
+	}
+	fmt.Printf("replaying %q (%.1f s) at %gx through %q/%q/%q...\n",
+		flight.Name, flight.Duration(), *speed,
+		stream.TopicAudio, stream.TopicIMU, stream.TopicGPS)
+	replayErr := make(chan error, 1)
+	go func() {
+		replayErr <- stream.Replay(context.Background(), bus, flight, stream.ReplayConfig{
+			Speed:         *speed,
+			FrameSeconds:  *frameSec,
+			DropRate:      *dropRate,
+			AudioDropRate: *audioDrop,
+			Seed:          *seed,
+		})
+		bus.Close()
+	}()
+	report, err := eng.Run(context.Background())
+	if rerr := <-replayErr; rerr != nil {
+		return fmt.Errorf("replay: %w", rerr)
+	}
+	if err != nil {
+		return err
+	}
+	st := eng.Status()
+	fmt.Printf("stream: %d windows processed, %d skipped, %d bus messages shed\n",
+		st.Windows, st.Skipped, bus.Dropped())
 	fmt.Print(report.String())
 	if flight.Scenario.IsAttack() {
 		fmt.Printf("  (ground truth: %s during [%.1f, %.1f))\n",

@@ -264,6 +264,10 @@ func NewGPSDetector(model *AcousticModel, benignFlights []*dataset.Flight, cfg G
 // Threshold returns the calibrated alarm threshold.
 func (d *GPSDetector) Threshold() float64 { return d.threshold }
 
+// Config returns the detector's configuration (after calibration-time
+// normalisation). The streaming engine mirrors the batch detector from it.
+func (d *GPSDetector) Config() GPSDetectorConfig { return d.cfg }
+
 // Mode returns the detector's KF mode.
 func (d *GPSDetector) Mode() kalman.Mode { return d.cfg.Mode }
 

@@ -1,6 +1,7 @@
 package soundboost
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,10 @@ import (
 	"soundboost/internal/kalman"
 	"soundboost/internal/parallel"
 )
+
+// ErrNoFlight is returned by Analyze when given a nil flight or one with
+// no telemetry and no audio — there is nothing to attribute a cause to.
+var ErrNoFlight = errors.New("soundboost: nil or empty flight")
 
 // RootCause is the outcome category of a full RCA run.
 type RootCause string
@@ -118,11 +123,17 @@ func NewAnalyzer(model *AcousticModel, benignFlights []*dataset.Flight) (*Analyz
 	return &Analyzer{Model: model, IMU: imu, GPSAudioOnly: audioOnly, GPSAudioIMU: audioIMU}, nil
 }
 
-// Analyze runs the full two-stage RCA over a flight.
+// Analyze runs the full two-stage RCA over a flight. A nil or empty
+// flight returns ErrNoFlight. On a stage error the partial report still
+// carries a coherent GPSMode: the variant stage 2 would have used given
+// what stage 1 concluded (audio+IMU until the IMU is flagged).
 func (a *Analyzer) Analyze(f *dataset.Flight) (Report, error) {
 	span := analyzeTimer.Start()
 	defer span.Stop()
-	report := Report{Flight: f.Name}
+	if f == nil || (len(f.Telemetry) == 0 && (f.Audio == nil || f.Audio.Samples() == 0)) {
+		return Report{GPSMode: a.GPSAudioIMU.Mode()}, ErrNoFlight
+	}
+	report := Report{Flight: f.Name, GPSMode: a.GPSAudioIMU.Mode()}
 
 	imuVerdict, err := a.IMU.Detect(f)
 	if err != nil {

@@ -207,24 +207,45 @@ func (e *Extractor) Features(t0, windowSeconds float64) []float64 {
 		windowsRejected.Inc()
 		return nil
 	}
-	sub := total / e.cfg.SubFrames
-	if sub < 8 {
+	var chans [acoustics.NumMics][]float64
+	for m := range chans {
+		chans[m] = e.filtered[m][start : start+total]
+	}
+	out := e.cfg.AcousticWindow(chans, e.rate)
+	if out == nil {
 		windowsRejected.Inc()
+	}
+	return out
+}
+
+// AcousticWindow computes the acoustic part of the signature directly from
+// per-mic low-pass-filtered sample windows (all the same length). It is
+// the shared kernel of the batch Extractor and the online streaming
+// windower: both paths must produce bit-identical features so that
+// streaming verdicts are equivalent to post hoc Analyze. Returns nil when
+// the window is too short for the configured sub-frame count.
+func (c SignatureConfig) AcousticWindow(chans [acoustics.NumMics][]float64, rate float64) []float64 {
+	total := len(chans[0])
+	if total <= 0 {
+		return nil
+	}
+	sub := total / c.SubFrames
+	if sub < 8 {
 		return nil
 	}
 	nfft := dsp.NextPow2(sub)
-	perFrame := len(e.cfg.Bands) + 1
+	perFrame := len(c.Bands) + 1
 	// Acoustic part only; attitude features (when configured) are appended
 	// by the window builders, which have telemetry access.
-	out := make([]float64, e.cfg.AcousticDim())
+	out := make([]float64, c.AcousticDim())
 	plan := dsp.PlanFFT(nfft)
 	buf := dsp.AcquireComplex(nfft)
 	defer dsp.ReleaseComplex(buf)
 	win := dsp.CachedHann(sub)
 	for m := 0; m < acoustics.NumMics; m++ {
-		ch := e.filtered[m]
-		for s := 0; s < e.cfg.SubFrames; s++ {
-			off := start + s*sub
+		ch := chans[m]
+		for s := 0; s < c.SubFrames; s++ {
+			off := s * sub
 			for i := range buf {
 				buf[i] = 0
 			}
@@ -233,20 +254,20 @@ func (e *Extractor) Features(t0, windowSeconds float64) []float64 {
 			}
 			plan.Forward(buf)
 			mags := dsp.Magnitudes(buf[:nfft/2+1])
-			base := (m*e.cfg.SubFrames + s) * perFrame
+			base := (m*c.SubFrames + s) * perFrame
 			var rms float64
 			for i := 0; i < sub; i++ {
 				v := ch[off+i]
 				rms += v * v
 			}
 			rms = math.Sqrt(rms / float64(sub))
-			for b, band := range e.cfg.Bands {
+			for b, band := range c.Bands {
 				// Normalise band energy by sqrt(nfft) so augmented
 				// (longer) windows remain comparable to the base window.
-				energy := dsp.BandEnergy(mags, nfft, e.rate, band) / math.Sqrt(float64(nfft))
+				energy := dsp.BandEnergy(mags, nfft, rate, band) / math.Sqrt(float64(nfft))
 				out[base+b] = math.Log1p(energy)
 			}
-			out[base+len(e.cfg.Bands)] = math.Log1p(rms)
+			out[base+len(c.Bands)] = math.Log1p(rms)
 		}
 	}
 	return out

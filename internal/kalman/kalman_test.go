@@ -169,6 +169,85 @@ func TestVelocityEstimatorRejectsBadDt(t *testing.T) {
 	}
 }
 
+// TestVelocityEstimatorIrregularDt feeds the timestamp pathologies a
+// lossy bus produces. Rejected steps must leave the estimate untouched;
+// jittered-but-valid steps must integrate to the same place as a uniform
+// cadence covering the same total time.
+func TestVelocityEstimatorIrregularDt(t *testing.T) {
+	a := mathx.Vec3{X: 1}
+	nan, inf := math.NaN(), math.Inf(1)
+
+	t.Run("rejects garbage without state damage", func(t *testing.T) {
+		e, err := NewVelocityEstimator(DefaultVelocityConfig(ModeAudioIMU), mathx.Vec3{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			if err := e.Step(a, a, 0.01); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := e.Velocity()
+		bad := []struct {
+			name       string
+			audio, imu mathx.Vec3
+			dt         float64
+		}{
+			{"negative dt", a, a, -0.01},
+			{"zero dt", a, a, 0},
+			{"NaN dt", a, a, nan},
+			{"+Inf dt", a, a, inf},
+			{"NaN audio accel", mathx.Vec3{X: nan}, a, 0.01},
+			{"Inf imu accel", a, mathx.Vec3{Z: inf}, 0.01},
+		}
+		for _, tc := range bad {
+			if err := e.Step(tc.audio, tc.imu, tc.dt); err == nil {
+				t.Errorf("%s: accepted", tc.name)
+			}
+		}
+		after := e.Velocity()
+		if after != before {
+			t.Errorf("rejected steps mutated the estimate: %v -> %v", before, after)
+		}
+		for _, c := range []float64{after.X, after.Y, after.Z} {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				t.Fatalf("non-finite estimate %v after rejected steps", after)
+			}
+		}
+	})
+
+	t.Run("jittered cadence integrates like uniform", func(t *testing.T) {
+		uniform, err := NewVelocityEstimator(DefaultVelocityConfig(ModeAudioOnly), mathx.Vec3{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jitter, err := NewVelocityEstimator(DefaultVelocityConfig(ModeAudioOnly), mathx.Vec3{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		total := 0.0
+		for total < 2 {
+			dt := 0.005 + 0.01*rng.Float64()
+			if err := jitter.Step(a, a, dt); err != nil {
+				t.Fatal(err)
+			}
+			total += dt
+		}
+		steps := int(total / 0.01)
+		for i := 0; i < steps; i++ {
+			if err := uniform.Step(a, a, total/float64(steps)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		du := uniform.Velocity().X
+		dj := jitter.Velocity().X
+		if math.Abs(du-dj) > 0.2 {
+			t.Errorf("jittered estimate %v vs uniform %v over the same %v s", dj, du, total)
+		}
+	})
+}
+
 // The core fusion property: when the IMU stream is biased (attack) but the
 // audio stream is clean, the audio-only estimator tracks truth while the
 // IMU-only estimator diverges.

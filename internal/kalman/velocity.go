@@ -2,6 +2,7 @@ package kalman
 
 import (
 	"fmt"
+	"math"
 
 	"soundboost/internal/mathx"
 )
@@ -94,9 +95,22 @@ func NewVelocityEstimator(cfg VelocityConfig, v0 mathx.Vec3) (*VelocityEstimator
 // Step advances the estimator by dt given the NED-transformed audio
 // acceleration prediction and the NED-transformed IMU acceleration
 // (gravity-compensated). Unused inputs for the mode are ignored.
+//
+// dt must be a positive finite interval: a lossy or reordered telemetry
+// bus delivers jittered, zero, negative, and occasionally non-finite
+// timestamp deltas, and integrating any of those would corrupt the state
+// irrecoverably. Such steps are rejected with an error and leave the
+// estimator untouched, so the caller can skip the sample and continue.
+// Non-finite acceleration inputs are rejected for the same reason.
 func (e *VelocityEstimator) Step(audioAccelNED, imuAccelNED mathx.Vec3, dt float64) error {
 	if dt <= 0 {
 		return fmt.Errorf("kalman: non-positive dt %g", dt)
+	}
+	if math.IsNaN(dt) || math.IsInf(dt, 0) {
+		return fmt.Errorf("kalman: non-finite dt %g", dt)
+	}
+	if !audioAccelNED.IsFinite() || !imuAccelNED.IsFinite() {
+		return fmt.Errorf("kalman: non-finite acceleration input (audio %v, imu %v)", audioAccelNED, imuAccelNED)
 	}
 	e.steps++
 	e.audioVel = e.audioVel.Add(audioAccelNED.Scale(dt))

@@ -5,13 +5,26 @@
 // drop-oldest backpressure, mirroring how a telemetry link sheds stale
 // samples rather than stalling the flight stack. A bounded replay buffer
 // per topic supports the post hoc analysis pattern: RCA runs after the
-// mission, reading back what was recorded.
+// mission, reading back what was recorded — and the online engine in
+// internal/stream consumes the same topics live.
 package mavbus
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+
+	"soundboost/internal/obs"
+)
+
+// Bus-wide metrics, resolved once at init and gated by obs.Enable.
+// mavbus.published counts accepted Publish calls; mavbus.dropped counts
+// messages shed by backpressure across all topics (per-topic counters are
+// registered lazily as mavbus.dropped.<topic>).
+var (
+	busPublished = obs.Default.Counter("mavbus.published")
+	busDropped   = obs.Default.Counter("mavbus.dropped")
 )
 
 // ErrClosed is returned when operating on a closed bus.
@@ -36,14 +49,27 @@ type Subscription struct {
 	bus   *Bus
 	topic string
 	ch    chan Message
-	once  sync.Once
+	done  bool // guarded by bus.mu
 }
 
-// Cancel detaches the subscription and closes its channel.
+// Cancel detaches the subscription and closes its channel. It is
+// idempotent, and safe to call before, after, or concurrently with
+// Bus.Close: whichever runs first closes the channel, the other is a
+// no-op.
 func (s *Subscription) Cancel() {
-	s.once.Do(func() {
-		s.bus.mu.Lock()
-		defer s.bus.mu.Unlock()
+	s.bus.mu.Lock()
+	defer s.bus.mu.Unlock()
+	s.cancelLocked(true)
+}
+
+// cancelLocked closes the subscription under the bus lock. detach removes
+// it from the topic map (Close clears the whole map itself).
+func (s *Subscription) cancelLocked(detach bool) {
+	if s.done {
+		return
+	}
+	s.done = true
+	if detach {
 		subs := s.bus.subs[s.topic]
 		for i, sub := range subs {
 			if sub == s {
@@ -51,8 +77,18 @@ func (s *Subscription) Cancel() {
 				break
 			}
 		}
-		close(s.ch)
-	})
+		if len(s.bus.subs[s.topic]) == 0 {
+			delete(s.bus.subs, s.topic)
+		}
+	}
+	close(s.ch)
+}
+
+// topicState is the per-topic bookkeeping: exact drop count plus the
+// lazily registered obs counter mirroring it.
+type topicState struct {
+	dropped    int
+	obsDropped *obs.Counter
 }
 
 // Bus is a concurrency-safe topic bus with per-topic replay buffers.
@@ -60,6 +96,7 @@ type Bus struct {
 	mu      sync.Mutex
 	subs    map[string][]*Subscription
 	replay  map[string][]Message
+	topics  map[string]*topicState
 	replayN int
 	closed  bool
 	dropped int
@@ -71,18 +108,33 @@ func NewBus(replayN int) *Bus {
 	return &Bus{
 		subs:    make(map[string][]*Subscription),
 		replay:  make(map[string][]Message),
+		topics:  make(map[string]*topicState),
 		replayN: replayN,
 	}
 }
 
+// topicLocked returns (creating if needed) the state for a topic.
+func (b *Bus) topicLocked(topic string) *topicState {
+	ts, ok := b.topics[topic]
+	if !ok {
+		ts = &topicState{obsDropped: obs.Default.Counter("mavbus.dropped." + topic)}
+		b.topics[topic] = ts
+	}
+	return ts
+}
+
 // Publish posts a message to a topic. Subscribers with full buffers drop
-// their oldest message (telemetry semantics: newest data wins).
+// their oldest message (telemetry semantics: newest data wins). Exactly
+// one message is counted dropped per shed message: either the drained
+// oldest, or — if the buffer state changed under a racing consumer — the
+// new message itself, never both.
 func (b *Bus) Publish(msg Message) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
 		return ErrClosed
 	}
+	busPublished.Inc()
 	if b.replayN > 0 {
 		r := append(b.replay[msg.Topic], msg)
 		if len(r) > b.replayN {
@@ -93,18 +145,33 @@ func (b *Bus) Publish(msg Message) error {
 	for _, s := range b.subs[msg.Topic] {
 		select {
 		case s.ch <- msg:
+			continue
 		default:
-			// Drop the oldest queued message to make room.
-			select {
-			case <-s.ch:
-				b.dropped++
-			default:
-			}
-			select {
-			case s.ch <- msg:
-			default:
-				b.dropped++
-			}
+		}
+		// Full buffer: shed the oldest queued message to make room for
+		// the newest. A consumer may drain the channel between the probe
+		// and the drain; the accounting below stays exact either way.
+		shed := false
+		select {
+		case <-s.ch:
+			shed = true
+		default:
+		}
+		select {
+		case s.ch <- msg:
+		default:
+			// Only consumers remove from s.ch while the lock is held, so
+			// this branch means the drain lost the race to an emptying
+			// consumer and the buffer refilled is impossible — but if it
+			// ever triggers, the new message is the one shed.
+			shed = true
+		}
+		if shed {
+			b.dropped++
+			ts := b.topicLocked(msg.Topic)
+			ts.dropped++
+			busDropped.Inc()
+			ts.obsDropped.Inc()
 		}
 	}
 	return nil
@@ -135,14 +202,26 @@ func (b *Bus) Replay(topic string) []Message {
 	return append([]Message(nil), b.replay[topic]...)
 }
 
-// Dropped reports how many messages were shed due to backpressure.
+// Dropped reports how many messages were shed due to backpressure across
+// all topics.
 func (b *Bus) Dropped() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.dropped
 }
 
-// Close shuts the bus; all subscription channels are closed.
+// DroppedTopic reports how many messages were shed on one topic.
+func (b *Bus) DroppedTopic(topic string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ts, ok := b.topics[topic]; ok {
+		return ts.dropped
+	}
+	return 0
+}
+
+// Close shuts the bus; all subscription channels are closed. Close is
+// idempotent and safe against concurrent Cancel calls.
 func (b *Bus) Close() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -150,12 +229,12 @@ func (b *Bus) Close() {
 		return
 	}
 	b.closed = true
-	for topic, subs := range b.subs {
+	for _, subs := range b.subs {
 		for _, s := range subs {
-			s.once.Do(func() { close(s.ch) })
+			s.cancelLocked(false)
 		}
-		delete(b.subs, topic)
 	}
+	b.subs = make(map[string][]*Subscription)
 }
 
 // Topics returns the replayable topic names (sorted insertion is not
@@ -174,5 +253,12 @@ func (b *Bus) Topics() []string {
 func (b *Bus) String() string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return fmt.Sprintf("mavbus{topics=%d dropped=%d closed=%v}", len(b.replay), b.dropped, b.closed)
+	var drops []string
+	for t, ts := range b.topics {
+		if ts.dropped > 0 {
+			drops = append(drops, fmt.Sprintf("%s:%d", t, ts.dropped))
+		}
+	}
+	sort.Strings(drops)
+	return fmt.Sprintf("mavbus{topics=%d dropped=%d %v closed=%v}", len(b.replay), b.dropped, drops, b.closed)
 }

@@ -164,6 +164,144 @@ func TestConcurrentPublishers(t *testing.T) {
 	}
 }
 
+// TestDropAccountingExact checks the core backpressure invariant with a
+// racing consumer: every published message is either delivered, still
+// queued, or counted dropped — never double-counted, never lost silently.
+func TestDropAccountingExact(t *testing.T) {
+	const total = 5000
+	b := NewBus(0)
+	sub, err := b.Subscribe("imu", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	received := make(chan int)
+	go func() {
+		n := 0
+		for range sub.C {
+			n++
+		}
+		received <- n
+	}()
+	for i := 0; i < total; i++ {
+		if err := b.Publish(Message{Topic: "imu", Time: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Close()
+	got := <-received
+	if got+b.Dropped() != total {
+		t.Errorf("delivered %d + dropped %d = %d, want %d", got, b.Dropped(), got+b.Dropped(), total)
+	}
+	if b.DroppedTopic("imu") != b.Dropped() {
+		t.Errorf("per-topic dropped %d != total %d with a single topic", b.DroppedTopic("imu"), b.Dropped())
+	}
+	if b.DroppedTopic("gps") != 0 {
+		t.Errorf("untouched topic reports %d drops", b.DroppedTopic("gps"))
+	}
+}
+
+// TestDropAccountingPerTopic isolates counters across topics.
+func TestDropAccountingPerTopic(t *testing.T) {
+	b := NewBus(0)
+	defer b.Close()
+	if _, err := b.Subscribe("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Subscribe("b", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		_ = b.Publish(Message{Topic: "a", Time: float64(i)})
+	}
+	_ = b.Publish(Message{Topic: "b", Time: 0})
+	if got := b.DroppedTopic("a"); got != 3 {
+		t.Errorf("topic a dropped = %d, want 3", got)
+	}
+	if got := b.DroppedTopic("b"); got != 0 {
+		t.Errorf("topic b dropped = %d, want 0", got)
+	}
+	if got := b.Dropped(); got != 3 {
+		t.Errorf("total dropped = %d, want 3", got)
+	}
+}
+
+// TestCancelAfterClose: both orders must be silent no-ops with the
+// channel closed exactly once and the topic map left clean.
+func TestCancelAfterClose(t *testing.T) {
+	b := NewBus(0)
+	sub, err := b.Subscribe("imu", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	sub.Cancel() // must not panic, must not resurrect topic state
+	sub.Cancel()
+	b.Close()
+	if _, ok := <-sub.C; ok {
+		t.Error("channel open after Close+Cancel")
+	}
+
+	// Reverse order on a fresh bus.
+	b2 := NewBus(0)
+	sub2, err := b2.Subscribe("imu", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub2.Cancel()
+	b2.Close()
+	sub2.Cancel()
+	if _, ok := <-sub2.C; ok {
+		t.Error("channel open after Cancel+Close")
+	}
+}
+
+// TestConcurrentPublishCancelClose hammers every mutating entry point at
+// once; run under -race it guards the locking discipline, and it must
+// terminate (the old sync.Once design could deadlock Close against a
+// concurrent Cancel).
+func TestConcurrentPublishCancelClose(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		b := NewBus(4)
+		var subs []*Subscription
+		for i := 0; i < 8; i++ {
+			s, err := b.Subscribe("imu", 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			subs = append(subs, s)
+		}
+		var wg sync.WaitGroup
+		for p := 0; p < 4; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					_ = b.Publish(Message{Topic: "imu", Time: float64(p*1000 + i)})
+				}
+			}(p)
+		}
+		for _, s := range subs {
+			wg.Add(2)
+			go func(s *Subscription) {
+				defer wg.Done()
+				for range s.C {
+				}
+			}(s)
+			go func(s *Subscription) {
+				defer wg.Done()
+				s.Cancel()
+			}(s)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.Close()
+		}()
+		wg.Wait()
+		b.Close()
+	}
+}
+
 func TestTopicsAndString(t *testing.T) {
 	b := NewBus(5)
 	defer b.Close()

@@ -174,12 +174,20 @@ func Max(x []float64) float64 {
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) of x by linear
-// interpolation of the sorted samples.
+// interpolation of the sorted samples. NaN samples are ignored — a lossy
+// telemetry stream must not be able to poison a calibrated threshold —
+// and a single-element input returns that element for every q. Returns 0
+// when no finite-comparable samples remain.
 func Quantile(x []float64, q float64) float64 {
-	if len(x) == 0 {
+	sorted := make([]float64, 0, len(x))
+	for _, v := range x {
+		if !math.IsNaN(v) {
+			sorted = append(sorted, v)
+		}
+	}
+	if len(sorted) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), x...)
 	sort.Float64s(sorted)
 	if q <= 0 {
 		return sorted[0]
@@ -209,8 +217,15 @@ type RunningMean struct {
 	count int
 }
 
-// Add feeds a sample and returns the updated mean.
+// Add feeds a sample and returns the updated mean. NaN samples are
+// ignored (returning the current mean unchanged): one corrupt telemetry
+// row must not poison the monitor for the rest of the stream. After
+// Reset the next sample re-seeds the mean exactly as the first ever
+// sample did.
 func (r *RunningMean) Add(v float64) float64 {
+	if math.IsNaN(v) {
+		return r.mean
+	}
 	r.count++
 	if r.Alpha > 0 {
 		if r.count == 1 {

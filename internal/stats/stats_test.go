@@ -194,6 +194,78 @@ func TestMaxQuantile(t *testing.T) {
 	}
 }
 
+// TestQuantileEdgeCases covers the streaming-triggered inputs: 1-element
+// slices, NaN contamination, and all-NaN degenerate input.
+func TestQuantileEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		x    []float64
+		q    float64
+		want float64
+	}{
+		{"one element mid-quantile", []float64{7}, 0.5, 7},
+		{"one element q=0", []float64{7}, 0, 7},
+		{"one element q=1", []float64{7}, 1, 7},
+		{"NaN ignored low", []float64{nan, 1, 3}, 0, 1},
+		{"NaN ignored high", []float64{1, nan, 3}, 1, 3},
+		{"NaN ignored median", []float64{1, nan, 3}, 0.5, 2},
+		{"NaN single survivor", []float64{nan, 4, nan}, 0.5, 4},
+		{"all NaN", []float64{nan, nan}, 0.5, 0},
+		{"empty", nil, 0.5, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Quantile(tc.x, tc.q)
+			if math.IsNaN(got) || math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Quantile(%v, %v) = %v, want %v", tc.x, tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunningMeanEdgeCases covers NaN rejection and Add-after-Reset for
+// both the cumulative and exponential variants.
+func TestRunningMeanEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name      string
+		alpha     float64
+		feed      []float64
+		reset     bool // Reset between the two feeds
+		feed2     []float64
+		wantMean  float64
+		wantCount int
+	}{
+		{"NaN ignored cumulative", 0, []float64{2, nan, 4}, false, nil, 3, 2},
+		{"NaN ignored exponential", 0.5, []float64{2, nan}, false, nil, 2, 1},
+		{"NaN first sample", 0.5, []float64{nan, 6}, false, nil, 6, 1},
+		{"all NaN", 0, []float64{nan, nan}, false, nil, 0, 0},
+		{"add after reset cumulative", 0, []float64{100, 200}, true, []float64{4, 6}, 5, 2},
+		{"add after reset exponential reseeds", 0.5, []float64{100}, true, []float64{8}, 8, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := RunningMean{Alpha: tc.alpha}
+			for _, v := range tc.feed {
+				r.Add(v)
+			}
+			if tc.reset {
+				r.Reset()
+			}
+			for _, v := range tc.feed2 {
+				r.Add(v)
+			}
+			if got := r.Mean(); math.IsNaN(got) || math.Abs(got-tc.wantMean) > 1e-12 {
+				t.Errorf("Mean = %v, want %v", got, tc.wantMean)
+			}
+			if got := r.Count(); got != tc.wantCount {
+				t.Errorf("Count = %d, want %d", got, tc.wantCount)
+			}
+		})
+	}
+}
+
 func TestRunningMeanCumulative(t *testing.T) {
 	var r RunningMean
 	for i := 1; i <= 10; i++ {

@@ -1,0 +1,690 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"soundboost/internal/acoustics"
+	soundboost "soundboost/internal/core"
+	"soundboost/internal/dsp"
+	"soundboost/internal/kalman"
+	"soundboost/internal/mathx"
+	"soundboost/internal/mavbus"
+	"soundboost/internal/sensors"
+)
+
+// maxGapFillSeconds caps how much audio silence a single timestamp jump
+// may inject: a frame claiming to start further ahead than this is
+// treated as malformed rather than allocated as a gap, so one corrupt
+// timestamp cannot balloon the ring buffer.
+const maxGapFillSeconds = 30
+
+// maxTelemetryBuffer caps the per-stream telemetry backlog retained while
+// windows cannot advance (e.g. the audio feed stalled). Past it the
+// oldest samples are evicted and counted.
+const maxTelemetryBuffer = 1 << 17
+
+// sampleRange is a half-open range [start, end) of absolute sample
+// indices whose content is gap-filled or otherwise untrustworthy.
+type sampleRange struct{ start, end int }
+
+// Status is a point-in-time snapshot of the engine for live display.
+type Status struct {
+	// LastWindowEnd is the end time (s) of the newest processed window.
+	LastWindowEnd float64
+	// Windows counts fully processed windows; Skipped counts windows
+	// dropped for gaps, starvation, or rejection.
+	Windows int
+	Skipped int
+	// IMUAttacked and GPSAttacked are the verdicts so far (GPS per the
+	// currently active KF variant).
+	IMUAttacked bool
+	GPSAttacked bool
+	// ActiveMode is the KF variant currently trusted for the GPS verdict
+	// — it switches from audio+IMU to audio-only the moment the IMU
+	// verdict flips to attacked.
+	ActiveMode kalman.Mode
+	// RunningError and PeakError expose the active GPS monitor state.
+	RunningError float64
+	PeakError    float64
+	Threshold    float64
+}
+
+// Engine is the online RCA engine. It consumes AudioFrame, IMUSample,
+// and GPSSample messages from a mavbus and incrementally runs the same
+// calibrated two-stage analysis as Analyzer.Analyze; on a clean, ordered,
+// lossless stream the final Report is equivalent to the batch one.
+//
+// Typical use:
+//
+//	eng, _ := stream.NewEngine(analyzer, rate, stream.Config{})
+//	eng.Attach(bus)
+//	go func() { stream.Replay(ctx, bus, flight, rcfg); bus.Close() }()
+//	report, err := eng.Run(ctx)
+//
+// Attach must happen before the first Publish or early messages are
+// missed (the bus does not replay into live subscriptions).
+type Engine struct {
+	an   *soundboost.Analyzer
+	cfg  Config
+	sig  soundboost.SignatureConfig
+	rate float64
+
+	subAudio *mavbus.Subscription
+	subIMU   *mavbus.Subscription
+	subGPS   *mavbus.Subscription
+
+	// Audio ring: filtered samples [base, written) per mic, plus the
+	// invalid (gap-filled / non-finite) ranges still overlapping it.
+	filters [acoustics.NumMics]*dsp.Biquad
+	buf     [acoustics.NumMics][]float64
+	base    int
+	written int
+	invalid []sampleRange
+
+	// Telemetry buffers, time-sorted, with high-water marks. done flags
+	// flip when the corresponding bus channel closes.
+	imuBuf   []IMUSample
+	gpsBuf   []GPSSample
+	imuWM    float64
+	gpsWM    float64
+	imuDone  bool
+	gpsDone  bool
+	imuEvict int
+	gpsEvict int
+
+	// nextWin is the index of the next unprocessed signature window
+	// (start time nextWin*HopSeconds, exactly as batch WindowStarts).
+	nextWin int
+
+	imuMon  *imuMonitor
+	gpsAO   *gpsMonitor // audio-only KF, trusted when the IMU is flagged
+	gpsAI   *gpsMonitor // audio+IMU KF, trusted otherwise
+	gravity mathx.Vec3
+
+	err error
+
+	mu     sync.Mutex
+	status Status
+}
+
+// NewEngine builds an engine around a calibrated analyzer for streams at
+// the given audio sample rate.
+func NewEngine(an *soundboost.Analyzer, sampleRate float64, cfg Config) (*Engine, error) {
+	if an == nil || an.Model == nil || an.IMU == nil || an.GPSAudioOnly == nil || an.GPSAudioIMU == nil {
+		return nil, fmt.Errorf("stream: nil or incomplete analyzer")
+	}
+	if an.IMU.Config().Stream != 0 {
+		return nil, fmt.Errorf("stream: only the primary IMU stream (0) is supported online, analyzer uses stream %d", an.IMU.Config().Stream)
+	}
+	sig := an.Model.Config().Signature
+	if err := sig.ValidateForRate(sampleRate); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		an:      an,
+		cfg:     cfg.withDefaults(),
+		sig:     sig,
+		rate:    sampleRate,
+		imuWM:   math.Inf(-1),
+		gpsWM:   math.Inf(-1),
+		gravity: mathx.Vec3{Z: sensors.Gravity},
+	}
+	// Mirror NewExtractor's per-channel low-pass: a causal biquad fed
+	// sample by sample is bit-identical to the batch ProcessAll.
+	if sig.LowPassHz > 0 && sig.LowPassHz < sampleRate/2 {
+		for m := range e.filters {
+			lp, err := dsp.NewLowPass(sig.LowPassHz, sampleRate)
+			if err != nil {
+				return nil, fmt.Errorf("stream: low-pass: %w", err)
+			}
+			e.filters[m] = lp
+		}
+	}
+	e.imuMon = newIMUMonitor(an.IMU, sig.WindowSeconds)
+	e.gpsAO = newGPSMonitor(an.GPSAudioOnly, sig.HopSeconds)
+	e.gpsAI = newGPSMonitor(an.GPSAudioIMU, sig.HopSeconds)
+	e.status.ActiveMode = an.GPSAudioIMU.Mode()
+	e.status.Threshold = an.GPSAudioIMU.Threshold()
+	return e, nil
+}
+
+// Attach subscribes the engine to its topics on the bus. It must be
+// called before publishing begins and before Run.
+func (e *Engine) Attach(bus *mavbus.Bus) error {
+	var err error
+	if e.subAudio, err = bus.Subscribe(e.cfg.AudioTopic, e.cfg.Buffer); err != nil {
+		return err
+	}
+	if e.subIMU, err = bus.Subscribe(e.cfg.IMUTopic, e.cfg.Buffer); err != nil {
+		return err
+	}
+	if e.subGPS, err = bus.Subscribe(e.cfg.GPSTopic, e.cfg.Buffer); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Run consumes the attached subscriptions until all three channels close
+// (bus closed) or the context is cancelled, then flushes the remaining
+// ready windows and returns the final report. A context cancellation
+// still returns the best-effort report alongside ctx.Err().
+func (e *Engine) Run(ctx context.Context) (soundboost.Report, error) {
+	if e.subAudio == nil || e.subIMU == nil || e.subGPS == nil {
+		return soundboost.Report{}, fmt.Errorf("stream: engine not attached to a bus")
+	}
+	audioC, imuC, gpsC := e.subAudio.C, e.subIMU.C, e.subGPS.C
+	for audioC != nil || imuC != nil || gpsC != nil {
+		// Block for at least one message (or closure, or cancellation).
+		select {
+		case <-ctx.Done():
+			e.cancelSubs()
+			e.advance(true)
+			report, _ := e.finalize()
+			return report, ctx.Err()
+		case m, ok := <-audioC:
+			e.dispatchAudio(m, ok, &audioC)
+		case m, ok := <-imuC:
+			e.dispatchIMU(m, ok, &imuC)
+		case m, ok := <-gpsC:
+			e.dispatchGPS(m, ok, &gpsC)
+		}
+		// Drain everything already queued before judging window
+		// readiness: a bursty publisher delivers the three streams at
+		// very different message rates, and deciding starvation while
+		// telemetry sits unread in its channel would skip healthy
+		// windows.
+		for drained := true; drained; {
+			drained = false
+			if audioC != nil {
+				select {
+				case m, ok := <-audioC:
+					e.dispatchAudio(m, ok, &audioC)
+					drained = true
+				default:
+				}
+			}
+			if imuC != nil {
+				select {
+				case m, ok := <-imuC:
+					e.dispatchIMU(m, ok, &imuC)
+					drained = true
+				default:
+				}
+			}
+			if gpsC != nil {
+				select {
+				case m, ok := <-gpsC:
+					e.dispatchGPS(m, ok, &gpsC)
+					drained = true
+				default:
+				}
+			}
+		}
+		e.advance(false)
+	}
+	e.advance(true)
+	return e.finalize()
+}
+
+func (e *Engine) dispatchAudio(m mavbus.Message, ok bool, c *<-chan mavbus.Message) {
+	if !ok {
+		*c = nil
+		return
+	}
+	if f, good := m.Payload.(AudioFrame); good {
+		e.onAudio(f)
+	}
+}
+
+func (e *Engine) dispatchIMU(m mavbus.Message, ok bool, c *<-chan mavbus.Message) {
+	if !ok {
+		*c = nil
+		e.imuDone = true
+		return
+	}
+	if s, good := m.Payload.(IMUSample); good {
+		e.onIMU(s)
+	}
+}
+
+func (e *Engine) dispatchGPS(m mavbus.Message, ok bool, c *<-chan mavbus.Message) {
+	if !ok {
+		*c = nil
+		e.gpsDone = true
+		return
+	}
+	if s, good := m.Payload.(GPSSample); good {
+		e.onGPS(s)
+	}
+}
+
+// cancelSubs detaches all subscriptions (used on context cancellation).
+func (e *Engine) cancelSubs() {
+	e.subAudio.Cancel()
+	e.subIMU.Cancel()
+	e.subGPS.Cancel()
+}
+
+// Status returns a snapshot of the engine state for live display. It is
+// safe to call concurrently with Run.
+func (e *Engine) Status() Status {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.status
+}
+
+// onAudio ingests one audio frame: out-of-order overlap is trimmed,
+// gaps are zero-filled through the filters (preserving window timing)
+// and marked invalid, non-finite samples are zeroed and marked invalid.
+func (e *Engine) onAudio(f AudioFrame) {
+	framesTotal.Inc()
+	if len(f.Samples) != acoustics.NumMics || len(f.Samples[0]) == 0 || f.Rate != e.rate {
+		framesMalformed.Inc()
+		return
+	}
+	n := len(f.Samples[0])
+	for _, ch := range f.Samples[1:] {
+		if len(ch) != n {
+			framesMalformed.Inc()
+			return
+		}
+	}
+	if math.IsNaN(f.Start) || math.IsInf(f.Start, 0) || f.Start < 0 {
+		framesMalformed.Inc()
+		return
+	}
+	startIdx := int(math.Round(f.Start * e.rate))
+	skip := 0
+	if startIdx < e.written {
+		// Duplicate or late frame: drop the part already ingested.
+		framesOutOfOrder.Inc()
+		skip = e.written - startIdx
+		if skip >= n {
+			return
+		}
+	} else if gap := startIdx - e.written; gap > 0 {
+		if float64(gap)/e.rate > maxGapFillSeconds {
+			framesMalformed.Inc()
+			return
+		}
+		// Dropout: zero-fill through the filters so later windows keep
+		// their absolute timing, and mark the span untrustworthy.
+		e.invalid = append(e.invalid, sampleRange{e.written, startIdx})
+		gapSamplesFilled.Add(int64(gap))
+		for i := 0; i < gap; i++ {
+			for m := range e.buf {
+				e.buf[m] = append(e.buf[m], e.filterSample(m, 0))
+			}
+		}
+		e.written = startIdx
+	}
+	for i := skip; i < n; i++ {
+		finite := true
+		for m := 0; m < acoustics.NumMics; m++ {
+			v := f.Samples[m][i]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				finite = false
+			}
+		}
+		if !finite {
+			nonFiniteSamples.Inc()
+			e.markInvalid(e.written, e.written+1)
+		}
+		for m := range e.buf {
+			v := f.Samples[m][i]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			e.buf[m] = append(e.buf[m], e.filterSample(m, v))
+		}
+		e.written++
+	}
+	audioBufferGauge.Set(float64(e.written-e.base) / e.rate)
+}
+
+func (e *Engine) filterSample(m int, v float64) float64 {
+	if e.filters[m] != nil {
+		return e.filters[m].Process(v)
+	}
+	return v
+}
+
+// markInvalid records [start, end) as untrustworthy, merging with a
+// directly adjacent previous range.
+func (e *Engine) markInvalid(start, end int) {
+	if n := len(e.invalid); n > 0 && e.invalid[n-1].end == start {
+		e.invalid[n-1].end = end
+		return
+	}
+	e.invalid = append(e.invalid, sampleRange{start, end})
+}
+
+// onIMU ingests one IMU row: NaN rows are shed, out-of-order rows are
+// sorted in if their window is still pending and dropped otherwise.
+func (e *Engine) onIMU(s IMUSample) {
+	telemetryIMU.Inc()
+	if !finiteTime(s.Time) || !s.Accel.IsFinite() || !finiteQuat(s.Att) {
+		telemetryNaN.Inc()
+		return
+	}
+	if s.Time >= e.imuWM {
+		e.imuBuf = append(e.imuBuf, s)
+		e.imuWM = s.Time
+	} else {
+		telemetryReordered.Inc()
+		if s.Time < float64(e.nextWin)*e.sig.HopSeconds {
+			return // its windows were already decided
+		}
+		i := len(e.imuBuf)
+		for i > 0 && e.imuBuf[i-1].Time > s.Time {
+			i--
+		}
+		e.imuBuf = append(e.imuBuf, IMUSample{})
+		copy(e.imuBuf[i+1:], e.imuBuf[i:])
+		e.imuBuf[i] = s
+	}
+	if len(e.imuBuf) > maxTelemetryBuffer {
+		e.imuBuf = e.imuBuf[1:]
+		e.imuEvict++
+		telemetryEvicted.Inc()
+	}
+}
+
+// onGPS ingests one GPS fix; the first finite fix seeds both KF variants
+// (the batch pipeline's v0 = Telemetry[0].GPSVel).
+func (e *Engine) onGPS(s GPSSample) {
+	telemetryGPS.Inc()
+	if !finiteTime(s.Time) || !s.Vel.IsFinite() || !s.Pos.IsFinite() {
+		telemetryNaN.Inc()
+		return
+	}
+	if e.gpsAO.est == nil {
+		if err := e.gpsAO.init(s.Vel); err != nil && e.err == nil {
+			e.err = err
+		}
+		if err := e.gpsAI.init(s.Vel); err != nil && e.err == nil {
+			e.err = err
+		}
+	}
+	if s.Time >= e.gpsWM {
+		e.gpsBuf = append(e.gpsBuf, s)
+		e.gpsWM = s.Time
+	} else {
+		telemetryReordered.Inc()
+		if s.Time < float64(e.nextWin)*e.sig.HopSeconds {
+			return
+		}
+		i := len(e.gpsBuf)
+		for i > 0 && e.gpsBuf[i-1].Time > s.Time {
+			i--
+		}
+		e.gpsBuf = append(e.gpsBuf, GPSSample{})
+		copy(e.gpsBuf[i+1:], e.gpsBuf[i:])
+		e.gpsBuf[i] = s
+	}
+	if len(e.gpsBuf) > maxTelemetryBuffer {
+		e.gpsBuf = e.gpsBuf[1:]
+		e.gpsEvict++
+		telemetryEvicted.Inc()
+	}
+}
+
+// advance processes every window that has become decidable. A window is
+// audio-ready under exactly the batch predicate (its samples are all
+// written AND t0+window fits the duration streamed so far) and
+// telemetry-ready when both telemetry watermarks passed its end (or the
+// stream closed). flush forces pending audio-ready windows through with
+// whatever telemetry arrived — used at end of stream, where the buffers
+// hold everything that will ever arrive.
+func (e *Engine) advance(flush bool) {
+	win := e.sig.WindowSeconds
+	hop := e.sig.HopSeconds
+	total := int(win * e.rate)
+	for {
+		t0 := float64(e.nextWin) * hop
+		start := int(t0 * e.rate)
+		endT := t0 + win
+		if start+total > e.written || endT > float64(e.written)/e.rate {
+			break // audio not complete for this window yet (or ever)
+		}
+		if !flush {
+			telReady := (e.imuDone || e.imuWM >= endT) && (e.gpsDone || e.gpsWM >= endT)
+			if !telReady {
+				lag := float64(e.written)/e.rate - endT
+				lagGauge.Set(lag)
+				if lag <= e.cfg.MaxLagSeconds {
+					break // wait for telemetry to catch up
+				}
+				// Telemetry starved beyond the horizon: skip the window
+				// so the audio ring stays bounded.
+				windowsStarved.Inc()
+				e.bumpSkipped()
+				e.nextWin++
+				e.prune()
+				continue
+			}
+		}
+		e.processWindow(t0, start, total)
+		e.nextWin++
+		e.prune()
+	}
+}
+
+// processWindow runs one signature window through both RCA stages.
+func (e *Engine) processWindow(t0 float64, start, total int) {
+	endT := t0 + e.sig.WindowSeconds
+	if !e.cfg.GapFill && e.overlapsInvalid(start, start+total) {
+		windowsSkippedGap.Inc()
+		e.bumpSkipped()
+		return
+	}
+	span := featureTimer.Start()
+	var chans [acoustics.NumMics][]float64
+	off := start - e.base
+	for m := range chans {
+		chans[m] = e.buf[m][off : off+total]
+	}
+	feat := e.sig.AcousticWindow(chans, e.rate)
+	span.Stop()
+	if feat == nil {
+		windowsRejected.Inc()
+		e.bumpSkipped()
+		return
+	}
+	imuWin := e.imuWindow(t0, endT)
+	if len(imuWin) == 0 {
+		// The batch pipeline skips telemetry-less windows in both stages.
+		windowsRejected.Inc()
+		e.bumpSkipped()
+		return
+	}
+	if e.sig.AttitudeFeatures {
+		var roll, pitch float64
+		for _, s := range imuWin {
+			r, p, _ := s.Att.Euler()
+			roll += r
+			pitch += p
+		}
+		n := float64(len(imuWin))
+		feat = append(feat, roll/n, pitch/n)
+	}
+	pred := e.an.Model.Predict(feat)
+
+	// Stage 1: per-sample z-axis residuals into the KS period monitor.
+	vals := make([]float64, len(imuWin))
+	for i, s := range imuWin {
+		vals[i] = pred.Z - s.Accel.Z
+	}
+	e.imuMon.addWindow(t0, vals)
+
+	// Stage 2: window-mean observation into both KF variants. Both run
+	// from the start so the verdict can switch variants retroactively
+	// cleanly — exactly the batch selection semantics.
+	if gpsWin := e.gpsWindow(t0, endT); len(gpsWin) > 0 {
+		att := imuWin[len(imuWin)/2].Att
+		var imuSum mathx.Vec3
+		for _, s := range imuWin {
+			imuSum = imuSum.Add(s.Accel)
+		}
+		imuBody := imuSum.Scale(1 / float64(len(imuWin)))
+		var gpsSum mathx.Vec3
+		for _, s := range gpsWin {
+			gpsSum = gpsSum.Add(s.Vel)
+		}
+		o := gpsObs{
+			winIdx:   e.nextWin,
+			t:        endT,
+			audioNED: att.Rotate(pred).Add(e.gravity),
+			imuNED:   att.Rotate(imuBody).Add(e.gravity),
+			gpsVel:   gpsSum.Scale(1 / float64(len(gpsWin))),
+		}
+		e.gpsAO.add(o)
+		e.gpsAI.add(o)
+	}
+	windowsEmitted.Inc()
+
+	e.mu.Lock()
+	e.status.Windows++
+	e.status.LastWindowEnd = endT
+	e.status.IMUAttacked = e.imuMon.verdict.Attacked
+	active := e.gpsAI
+	e.status.ActiveMode = e.an.GPSAudioIMU.Mode()
+	if e.imuMon.verdict.Attacked {
+		active = e.gpsAO
+		e.status.ActiveMode = e.an.GPSAudioOnly.Mode()
+	}
+	e.status.GPSAttacked = active.verdict.Attacked
+	e.status.RunningError = active.monitor.Mean()
+	e.status.PeakError = active.verdict.PeakError
+	e.status.Threshold = active.threshold
+	e.mu.Unlock()
+}
+
+func (e *Engine) bumpSkipped() {
+	e.mu.Lock()
+	e.status.Skipped++
+	e.mu.Unlock()
+}
+
+// imuWindow returns the buffered IMU samples with time in [t0, t1) —
+// the same half-open interval as dataset.Flight.TelemetryBetween.
+func (e *Engine) imuWindow(t0, t1 float64) []IMUSample {
+	var out []IMUSample
+	for _, s := range e.imuBuf {
+		if s.Time >= t1 {
+			break
+		}
+		if s.Time >= t0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (e *Engine) gpsWindow(t0, t1 float64) []GPSSample {
+	var out []GPSSample
+	for _, s := range e.gpsBuf {
+		if s.Time >= t1 {
+			break
+		}
+		if s.Time >= t0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// overlapsInvalid reports whether [start, end) intersects a gap-filled or
+// non-finite sample range.
+func (e *Engine) overlapsInvalid(start, end int) bool {
+	for _, r := range e.invalid {
+		if r.start < end && start < r.end {
+			return true
+		}
+	}
+	return false
+}
+
+// prune discards buffered audio and telemetry no window can need again:
+// everything strictly before the next window's start. This (plus the
+// starvation skip in advance) is what bounds engine memory.
+func (e *Engine) prune() {
+	t0 := float64(e.nextWin) * e.sig.HopSeconds
+	newBase := int(t0 * e.rate)
+	if cut := newBase - e.base; cut > 0 {
+		for m := range e.buf {
+			e.buf[m] = append(e.buf[m][:0:0], e.buf[m][cut:]...)
+		}
+		e.base = newBase
+	}
+	keep := e.invalid[:0]
+	for _, r := range e.invalid {
+		if r.end > e.base {
+			keep = append(keep, r)
+		}
+	}
+	e.invalid = keep
+	cutIMU := 0
+	for cutIMU < len(e.imuBuf) && e.imuBuf[cutIMU].Time < t0 {
+		cutIMU++
+	}
+	if cutIMU > 0 {
+		e.imuBuf = append(e.imuBuf[:0:0], e.imuBuf[cutIMU:]...)
+	}
+	cutGPS := 0
+	for cutGPS < len(e.gpsBuf) && e.gpsBuf[cutGPS].Time < t0 {
+		cutGPS++
+	}
+	if cutGPS > 0 {
+		e.gpsBuf = append(e.gpsBuf[:0:0], e.gpsBuf[cutGPS:]...)
+	}
+}
+
+// finalize assembles the report with the batch pipeline's stage-2
+// selection and cause attribution.
+func (e *Engine) finalize() (soundboost.Report, error) {
+	imuV := e.imuMon.finalize()
+	gps := e.gpsAI
+	mode := e.an.GPSAudioIMU.Mode()
+	if imuV.Attacked {
+		gps = e.gpsAO
+		mode = e.an.GPSAudioOnly.Mode()
+	}
+	gpsV, gpsErr := gps.finalize()
+	if gpsErr != nil && e.err == nil {
+		e.err = gpsErr
+	}
+	report := soundboost.Report{
+		Flight:  e.cfg.FlightName,
+		IMU:     imuV,
+		GPS:     gpsV,
+		GPSMode: mode,
+	}
+	switch {
+	case imuV.Attacked && gpsV.Attacked:
+		report.Cause = soundboost.CauseIMUAndGPS
+	case imuV.Attacked:
+		report.Cause = soundboost.CauseIMU
+	case gpsV.Attacked:
+		report.Cause = soundboost.CauseGPS
+	default:
+		report.Cause = soundboost.CauseNone
+	}
+	e.mu.Lock()
+	e.status.IMUAttacked = imuV.Attacked
+	e.status.GPSAttacked = gpsV.Attacked
+	e.status.ActiveMode = mode
+	e.status.PeakError = gpsV.PeakError
+	e.status.Threshold = gpsV.Threshold
+	e.mu.Unlock()
+	return report, e.err
+}
+
+func finiteTime(t float64) bool { return !math.IsNaN(t) && !math.IsInf(t, 0) }
+
+func finiteQuat(q mathx.Quat) bool {
+	return !math.IsNaN(q.W+q.X+q.Y+q.Z) && !math.IsInf(q.W+q.X+q.Y+q.Z, 0)
+}

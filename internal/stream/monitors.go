@@ -1,0 +1,313 @@
+package stream
+
+import (
+	soundboost "soundboost/internal/core"
+	"soundboost/internal/kalman"
+	"soundboost/internal/mathx"
+	"soundboost/internal/stats"
+)
+
+// maxRejectedVals bounds the residual pool retained for the AttackStd
+// estimate on an endless attacked stream; past it the spread estimate
+// freezes on the first samples rather than growing without bound.
+const maxRejectedVals = 1 << 20
+
+// imuMonitor is the incremental mirror of IMUDetector.Detect: it holds a
+// ring of the last PeriodWindows window-residual sets and emits one
+// KS-test period per completed window, applying the same pooling,
+// thresholds, consecutive-period logic, and attack-spread accounting as
+// the batch sweep. On an identical window sequence its verdict is
+// identical to the batch detector's.
+type imuMonitor struct {
+	cfg     soundboost.IMUDetectorConfig
+	benign  stats.Normal
+	statThr float64
+	stdThr  float64
+	winSec  float64
+
+	ring        []imuWindow
+	consecutive int
+	verdict     soundboost.IMUVerdict
+	// rejectedVals pools residuals of rejected periods (with the batch
+	// sweep's overlap duplicates) for the final AttackStd.
+	rejectedVals []float64
+}
+
+type imuWindow struct {
+	start float64
+	vals  []float64
+}
+
+func newIMUMonitor(d *soundboost.IMUDetector, winSec float64) *imuMonitor {
+	cfg := d.Config()
+	if cfg.PeriodWindows < 1 {
+		cfg.PeriodWindows = 1
+	}
+	return &imuMonitor{
+		cfg:     cfg,
+		benign:  d.BenignDistribution(),
+		statThr: d.StatThreshold(),
+		stdThr:  d.StdThreshold(),
+		winSec:  winSec,
+	}
+}
+
+// addWindow feeds the residuals of one completed signature window
+// (window start time and per-IMU-sample prediction residuals).
+func (m *imuMonitor) addWindow(start float64, vals []float64) {
+	span := imuPeriodTimer.Start()
+	defer span.Stop()
+	m.ring = append(m.ring, imuWindow{start: start, vals: vals})
+	if len(m.ring) > m.cfg.PeriodWindows {
+		m.ring = m.ring[1:]
+	}
+	if len(m.ring) < m.cfg.PeriodWindows {
+		return
+	}
+	var pool []float64
+	for _, w := range m.ring {
+		pool = append(pool, w.vals...)
+	}
+	// Same skip conditions as the batch periodStats: a too-small or
+	// untestable pool emits no period and does not reset the
+	// consecutive-rejection counter.
+	if len(pool) < m.cfg.MinResiduals {
+		return
+	}
+	res, err := stats.KSTestNormal(pool, m.benign)
+	if err != nil {
+		return
+	}
+	std := stats.StdDev(pool)
+	m.verdict.WindowsTested++
+	if res.Statistic > m.statThr || std > m.stdThr {
+		m.verdict.WindowsRejected++
+		m.consecutive++
+		if len(m.rejectedVals) < maxRejectedVals {
+			m.rejectedVals = append(m.rejectedVals, pool...)
+		}
+		if m.consecutive >= m.cfg.DetectPeriods && !m.verdict.Attacked {
+			m.verdict.Attacked = true
+			m.verdict.DetectionTime = start + m.winSec
+		}
+	} else {
+		m.consecutive = 0
+	}
+}
+
+// finalize returns the accumulated verdict.
+func (m *imuMonitor) finalize() soundboost.IMUVerdict {
+	v := m.verdict
+	if v.Attacked && len(m.rejectedVals) > 1 {
+		v.AttackStd = stats.StdDev(m.rejectedVals)
+	}
+	return v
+}
+
+// gpsObs is one per-window observation of the GPS stage — the batch
+// runFlight's windowObs plus the window index, which lets the monitor
+// detect holes left by skipped windows (audio dropouts, starvation) and
+// restart its analysis segment across them.
+type gpsObs struct {
+	winIdx   int
+	t        float64
+	audioNED mathx.Vec3
+	imuNED   mathx.Vec3
+	gpsVel   mathx.Vec3
+}
+
+// gpsMonitor is the incremental mirror of GPSDetector.runFlight + Detect:
+// it buffers observations through the alignment phase, estimates the
+// constant acceleration biases against GPS velocity deltas exactly as the
+// batch code does, then replays the buffer and continues stepping the KF,
+// the bias EWMA, and the running-mean error monitor live. On an identical
+// observation sequence its verdict is identical to the batch detector's.
+type gpsMonitor struct {
+	cfg       soundboost.GPSDetectorConfig
+	threshold float64
+	hop       float64
+
+	est     *kalman.VelocityEstimator
+	monitor stats.RunningMean
+	aligned bool
+	buf     []gpsObs
+	alignN  int
+
+	audioBias  mathx.Vec3
+	imuBias    mathx.Vec3
+	idx        int
+	prevGPSVel mathx.Vec3
+
+	// seen/lastWinIdx detect holes in the observation sequence (skipped
+	// windows). The error monitor is calibrated on contiguous benign
+	// windows, so a hole ends the current analysis segment rather than
+	// stepping the KF across it with a distorted timebase.
+	seen       bool
+	lastWinIdx int
+
+	verdict soundboost.GPSVerdict
+	err     error
+}
+
+func newGPSMonitor(d *soundboost.GPSDetector, hop float64) *gpsMonitor {
+	return &gpsMonitor{
+		cfg:       d.Config(),
+		threshold: d.Threshold(),
+		hop:       hop,
+	}
+}
+
+// init seeds the KF from the first GPS fix (pre-attack per the threat
+// model), mirroring the batch v0 = Telemetry[0].GPSVel.
+func (g *gpsMonitor) init(v0 mathx.Vec3) error {
+	if g.est != nil {
+		return nil
+	}
+	est, err := kalman.NewVelocityEstimator(g.cfg.Velocity, v0)
+	if err != nil {
+		return err
+	}
+	g.est = est
+	g.monitor = stats.RunningMean{Alpha: g.cfg.ErrorAlpha}
+	g.verdict.Threshold = g.threshold
+	return nil
+}
+
+// add feeds one window observation in window order. A hole in the
+// window sequence (audio dropout or starvation skip) pauses the monitor:
+// the current segment is closed with batch semantics and a fresh
+// alignment phase begins on the next contiguous run, re-anchored at its
+// first GPS reading. The verdict accumulates across segments. A clean
+// stream is one segment, bit-identical to the batch recursion.
+func (g *gpsMonitor) add(o gpsObs) {
+	span := gpsStepTimer.Start()
+	defer span.Stop()
+	if g.err != nil {
+		return
+	}
+	if g.seen && o.winIdx > g.lastWinIdx+1 {
+		g.restartSegment(o)
+		if g.err != nil {
+			return
+		}
+	}
+	g.seen = true
+	g.lastWinIdx = o.winIdx
+	if !g.aligned {
+		if g.cfg.AlignSeconds > 0 {
+			if len(g.buf) == 0 || o.t-g.buf[0].t <= g.cfg.AlignSeconds {
+				g.buf = append(g.buf, o)
+				return
+			}
+			// o is the first observation past the alignment horizon:
+			// finalize the bias estimate and catch up.
+			g.finishAlign()
+		} else {
+			g.aligned = true
+		}
+	}
+	g.step(o)
+}
+
+// finishAlign computes the alignment-phase biases from the buffered
+// observations (the batch alignN loop verbatim) and replays the buffer
+// through the KF. During the replayed steps the error monitor stays off,
+// exactly as the batch main loop gates on i >= alignN.
+func (g *gpsMonitor) finishAlign() {
+	g.aligned = true
+	g.alignN = len(g.buf)
+	if g.cfg.AlignSeconds > 0 && g.alignN > 1 {
+		var audioInt, imuInt mathx.Vec3
+		for _, o := range g.buf {
+			audioInt = audioInt.Add(o.audioNED.Scale(g.hop))
+			imuInt = imuInt.Add(o.imuNED.Scale(g.hop))
+		}
+		alignT := float64(g.alignN) * g.hop
+		dv := g.buf[g.alignN-1].gpsVel.Sub(g.buf[0].gpsVel)
+		g.audioBias = audioInt.Sub(dv).Scale(1 / alignT)
+		g.imuBias = imuInt.Sub(dv).Scale(1 / alignT)
+	}
+	for _, o := range g.buf {
+		g.step(o)
+	}
+	g.buf = nil
+}
+
+func (g *gpsMonitor) step(o gpsObs) {
+	if g.est == nil || g.err != nil {
+		// No GPS fix was ever seen: there is nothing to fuse against.
+		return
+	}
+	i := g.idx
+	if g.cfg.BiasTauSeconds > 0 && i >= 1 && i >= g.alignN {
+		gpsAccel := o.gpsVel.Sub(g.prevGPSVel).Scale(1 / g.hop)
+		alpha := g.hop / g.cfg.BiasTauSeconds
+		g.audioBias = g.audioBias.Add(o.audioNED.Sub(gpsAccel).Sub(g.audioBias).Scale(alpha))
+		g.imuBias = g.imuBias.Add(o.imuNED.Sub(gpsAccel).Sub(g.imuBias).Scale(alpha))
+	}
+	if err := g.est.Step(o.audioNED.Sub(g.audioBias), o.imuNED.Sub(g.imuBias), g.hop); err != nil {
+		g.err = err
+		return
+	}
+	if i >= g.alignN {
+		running := g.monitor.Add(g.est.Velocity().Sub(o.gpsVel).Norm())
+		if running > g.verdict.PeakError {
+			g.verdict.PeakError = running
+		}
+		if running > g.threshold && !g.verdict.Attacked {
+			g.verdict.Attacked = true
+			g.verdict.DetectionTime = o.t
+		}
+	}
+	g.prevGPSVel = o.gpsVel
+	g.idx++
+}
+
+// restartSegment closes the segment interrupted by a window hole (a
+// partial alignment phase finishes batch-style, with monitoring off) and
+// re-enters alignment for the next contiguous run, re-anchoring the KF
+// at the new segment's first GPS reading. The accumulated verdict is
+// kept; the running-mean monitor restarts because its calibration only
+// covers contiguous windows.
+func (g *gpsMonitor) restartSegment(o gpsObs) {
+	if !g.aligned {
+		g.finishAlign()
+	}
+	if g.err != nil {
+		return
+	}
+	gpsSegments.Inc()
+	g.aligned = false
+	g.buf = nil
+	g.alignN = 0
+	g.idx = 0
+	g.audioBias = mathx.Vec3{}
+	g.imuBias = mathx.Vec3{}
+	g.prevGPSVel = mathx.Vec3{}
+	g.monitor.Reset()
+	if g.est != nil {
+		est, err := kalman.NewVelocityEstimator(g.cfg.Velocity, o.gpsVel)
+		if err != nil {
+			g.err = err
+			return
+		}
+		g.est = est
+	}
+}
+
+// flush finalizes a stream that ended inside the alignment phase (the
+// batch equivalent: a flight shorter than AlignSeconds still steps the
+// KF with monitoring off).
+func (g *gpsMonitor) flush() {
+	if !g.aligned {
+		g.finishAlign()
+	}
+}
+
+// finalize returns the accumulated verdict and any KF error.
+func (g *gpsMonitor) finalize() (soundboost.GPSVerdict, error) {
+	g.flush()
+	v := g.verdict
+	v.Threshold = g.threshold
+	return v, g.err
+}

@@ -1,0 +1,141 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"soundboost/internal/acoustics"
+	"soundboost/internal/dataset"
+	"soundboost/internal/mavbus"
+)
+
+// ReplayConfig tunes dataset replay onto a bus.
+type ReplayConfig struct {
+	// Speed is the wall-clock speed factor: 1 replays in real time, 2 at
+	// double speed, 0 replays as fast as the bus accepts (no sleeping).
+	Speed float64
+	// FrameSeconds is the audio chunking interval (default 0.05 s —
+	// a 50 ms capture buffer, typical for a companion-computer ALSA feed).
+	FrameSeconds float64
+	// DropRate is the per-message drop probability for IMU and GPS
+	// messages, simulating a lossy telemetry link. 0 disables.
+	DropRate float64
+	// AudioDropRate is the per-frame drop probability for audio frames,
+	// creating dropouts the engine must gap-fill over. 0 disables.
+	AudioDropRate float64
+	// Seed drives the drop injection (deterministic for a given seed).
+	Seed int64
+	// AudioTopic, IMUTopic, GPSTopic override the default topic names.
+	AudioTopic string
+	IMUTopic   string
+	GPSTopic   string
+}
+
+func (c ReplayConfig) withDefaults() ReplayConfig {
+	if c.FrameSeconds <= 0 {
+		c.FrameSeconds = 0.05
+	}
+	if c.AudioTopic == "" {
+		c.AudioTopic = TopicAudio
+	}
+	if c.IMUTopic == "" {
+		c.IMUTopic = TopicIMU
+	}
+	if c.GPSTopic == "" {
+		c.GPSTopic = TopicGPS
+	}
+	return c
+}
+
+// replayEvent is one timed publication.
+type replayEvent struct {
+	t   float64
+	msg mavbus.Message
+}
+
+// Replay publishes a recorded flight onto the bus as the live streams the
+// engine consumes: the audio recording chunked into frames (each
+// published at its capture-complete time) and one IMU plus one GPS
+// message per telemetry row. With Speed > 0 publication is paced to
+// scaled real time; Speed == 0 publishes as fast as possible. The caller
+// owns the bus and typically closes it when Replay returns so consumers
+// see end-of-stream.
+func Replay(ctx context.Context, bus *mavbus.Bus, f *dataset.Flight, cfg ReplayConfig) error {
+	if f == nil || f.Audio == nil || f.Audio.Samples() == 0 {
+		return fmt.Errorf("stream: nothing to replay")
+	}
+	cfg = cfg.withDefaults()
+	rate := f.Audio.SampleRate
+	frameN := int(cfg.FrameSeconds * rate)
+	if frameN < 1 {
+		frameN = 1
+	}
+
+	var events []replayEvent
+	total := f.Audio.Samples()
+	for o := 0; o < total; o += frameN {
+		end := o + frameN
+		if end > total {
+			end = total
+		}
+		samples := make([][]float64, acoustics.NumMics)
+		for m := range samples {
+			samples[m] = f.Audio.Channels[m][o:end]
+		}
+		frame := AudioFrame{Start: float64(o) / rate, Rate: rate, Samples: samples}
+		endT := float64(end) / rate
+		events = append(events, replayEvent{
+			t:   endT, // a frame exists once its last sample is captured
+			msg: mavbus.Message{Topic: cfg.AudioTopic, Time: endT, Payload: frame},
+		})
+	}
+	for _, s := range f.Telemetry {
+		events = append(events, replayEvent{
+			t: s.Time,
+			msg: mavbus.Message{Topic: cfg.IMUTopic, Time: s.Time, Payload: IMUSample{
+				Time: s.Time, Accel: s.IMUAccel, Gyro: s.IMUGyro, Att: s.EstAtt,
+			}},
+		})
+		events = append(events, replayEvent{
+			t: s.Time,
+			msg: mavbus.Message{Topic: cfg.GPSTopic, Time: s.Time, Payload: GPSSample{
+				Time: s.Time, Pos: s.GPSPos, Vel: s.GPSVel,
+			}},
+		})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].t < events[j].t })
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	prev := 0.0
+	for _, ev := range events {
+		if cfg.Speed > 0 && ev.t > prev {
+			d := time.Duration(float64(time.Second) * (ev.t - prev) / cfg.Speed)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(d):
+			}
+			prev = ev.t
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		switch ev.msg.Topic {
+		case cfg.AudioTopic:
+			if cfg.AudioDropRate > 0 && rng.Float64() < cfg.AudioDropRate {
+				continue
+			}
+		default:
+			if cfg.DropRate > 0 && rng.Float64() < cfg.DropRate {
+				continue
+			}
+		}
+		if err := bus.Publish(ev.msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}

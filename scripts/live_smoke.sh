@@ -1,0 +1,54 @@
+#!/bin/sh
+# live_smoke.sh — end-to-end smoke test of the live streaming pipeline:
+# generate a reduced-rate corpus with flightgen, train + calibrate with
+# the soundboost CLI, then replay a benign flight and a GPS-drift attack
+# through the mavbus with `soundboost live` and check the verdicts.
+# Everything runs in a throwaway temp directory; total runtime is a few
+# seconds (the -fast preset keeps audio at 4 kHz).
+# Run from the repo root, or via `make live-smoke`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== generate corpus (reduced rate) =="
+seed=1
+for mission in hover dash column; do
+    for rep in 1 2; do
+        go run ./cmd/flightgen -fast -out "$tmp/train" -mission "$mission" \
+            -seconds 14 -seed $seed -name "$mission-benign-$seed"
+        seed=$((seed + 7))
+    done
+done
+go run ./cmd/flightgen -fast -out "$tmp" -mission hover -seconds 20 -seed 99 \
+    -name benign-incident
+go run ./cmd/flightgen -fast -out "$tmp" -mission hover -seconds 20 -seed 99 \
+    -attack gps-drift -attack-start 6 -attack-end 18 -offset-x 24 \
+    -name spoofed-incident
+
+echo "== train + calibrate =="
+go run ./cmd/soundboost train -flights "$tmp/train" -model "$tmp/model.json" \
+    -hidden 48 -epochs 100 -augment 0
+go run ./cmd/soundboost calibrate -model "$tmp/model.json" \
+    -calib "$tmp/train" -out "$tmp/analyzer.json"
+
+echo "== live replay: benign flight =="
+go run ./cmd/soundboost live -analyzer "$tmp/analyzer.json" \
+    -flight "$tmp/benign-incident.sbf" -speed 50 | tee "$tmp/benign.out"
+grep -q "root cause: none" "$tmp/benign.out" || {
+    echo "live-smoke: benign replay did not report 'root cause: none'" >&2
+    exit 1
+}
+
+echo "== live replay: GPS drift attack, 5% telemetry drop =="
+go run ./cmd/soundboost live -analyzer "$tmp/analyzer.json" \
+    -flight "$tmp/spoofed-incident.sbf" -speed 0 -drop 0.05 -seed 3 \
+    | tee "$tmp/attack.out"
+grep -q "root cause: gps" "$tmp/attack.out" || {
+    echo "live-smoke: GPS-drift replay did not report 'root cause: gps'" >&2
+    exit 1
+}
+
+echo "live-smoke: OK"
