@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json cover verify staticcheck fmt live-smoke
+.PHONY: build test race bench bench-json cover verify staticcheck fmt live-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,13 @@ verify:
 # benign and an attacked flight over the mavbus (reduced-rate, ~seconds).
 live-smoke:
 	sh scripts/live_smoke.sh
+
+# serve-smoke exercises the multi-session RCA service end to end:
+# flightgen corpus -> train -> calibrate -> `soundboost serve`, then the
+# same incident flight through offline rca, HTTP batch upload, and a
+# chunked streaming session — all three verdicts must be identical.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 fmt:
 	gofmt -w .

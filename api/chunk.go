@@ -1,0 +1,110 @@
+package api
+
+import (
+	"fmt"
+	"sort"
+
+	"soundboost/internal/dataset"
+	"soundboost/internal/stream"
+)
+
+// ChunkFlight converts a recorded flight into the time-ordered frame
+// batches a client posts to POST /v1/sessions/{id}/frames. Audio is cut
+// into frameSeconds chunks stamped at capture-complete time (exactly the
+// chunking of stream.Replay, so a streamed upload reproduces the batch
+// verdict); the flight's timeline is then sliced into consecutive
+// requests of chunkSeconds each, with all events carrying an equal
+// timestamp kept in one request so the server-side merge preserves the
+// replay ordering. The final request has Close set.
+//
+// frameSeconds <= 0 selects the 50 ms default; chunkSeconds <= 0 packs
+// the whole flight into a single request.
+func ChunkFlight(f *dataset.Flight, frameSeconds, chunkSeconds float64) ([]FramesRequest, error) {
+	if f == nil || f.Audio == nil || f.Audio.Samples() == 0 {
+		return nil, fmt.Errorf("api: nothing to chunk")
+	}
+	if frameSeconds <= 0 {
+		frameSeconds = 0.05
+	}
+	rate := f.Audio.SampleRate
+	frameN := int(frameSeconds * rate)
+	if frameN < 1 {
+		frameN = 1
+	}
+	total := f.Audio.Samples()
+	duration := float64(total) / rate
+	if n := len(f.Telemetry); n > 0 && f.Telemetry[n-1].Time > duration {
+		duration = f.Telemetry[n-1].Time
+	}
+	nChunks := 1
+	if chunkSeconds > 0 {
+		nChunks = int(duration/chunkSeconds) + 1
+	}
+	sliceAt := func(tm float64) int {
+		i := int(tm / (duration + 1e-9) * float64(nChunks))
+		if i < 0 {
+			i = 0
+		}
+		if i >= nChunks {
+			i = nChunks - 1
+		}
+		return i
+	}
+
+	reqs := make([]FramesRequest, nChunks)
+	for o := 0; o < total; o += frameN {
+		end := o + frameN
+		if end > total {
+			end = total
+		}
+		samples := make([][]float64, len(f.Audio.Channels))
+		for m := range samples {
+			samples[m] = f.Audio.Channels[m][o:end]
+		}
+		endT := float64(end) / rate
+		i := sliceAt(endT)
+		reqs[i].Audio = append(reqs[i].Audio, AudioFrameFromStream(stream.AudioFrame{
+			Start: float64(o) / rate, Rate: rate, Samples: samples,
+		}))
+	}
+	for _, s := range f.Telemetry {
+		i := sliceAt(s.Time)
+		reqs[i].IMU = append(reqs[i].IMU, IMUSampleFromStream(stream.IMUSample{
+			Time: s.Time, Accel: s.IMUAccel, Gyro: s.IMUGyro, Att: s.EstAtt,
+		}))
+		reqs[i].GPS = append(reqs[i].GPS, GPSSampleFromStream(stream.GPSSample{
+			Time: s.Time, Pos: s.GPSPos, Vel: s.GPSVel,
+		}))
+	}
+	// Drop empty slices (possible at the tail for coarse chunk sizes),
+	// then assert the cross-request invariant: no stream runs backwards
+	// across a chunk boundary.
+	dense := reqs[:0]
+	for _, r := range reqs {
+		if len(r.Audio) > 0 || len(r.IMU) > 0 || len(r.GPS) > 0 {
+			dense = append(dense, r)
+		}
+	}
+	reqs = dense
+	if !sort.SliceIsSorted(reqs, func(i, j int) bool { return firstTime(reqs[i]) < firstTime(reqs[j]) }) {
+		return nil, fmt.Errorf("api: chunking produced out-of-order requests")
+	}
+	reqs[len(reqs)-1].Close = true
+	return reqs, nil
+}
+
+// firstTime returns the earliest event timestamp in a (non-empty)
+// request.
+func firstTime(r FramesRequest) float64 {
+	t := 1e300
+	if len(r.Audio) > 0 && r.Audio[0].StartSeconds < t {
+		t = r.Audio[0].StartSeconds
+	}
+	if len(r.IMU) > 0 && r.IMU[0].TimeSeconds < t {
+		t = r.IMU[0].TimeSeconds
+	}
+	if len(r.GPS) > 0 && r.GPS[0].TimeSeconds < t {
+		t = r.GPS[0].TimeSeconds
+	}
+	return t
+}

@@ -1,0 +1,24 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// DecodeStrict decodes exactly one JSON value from r into v, rejecting
+// unknown fields and trailing garbage. The server uses it for every
+// request body so client typos (a misspelled field would otherwise be
+// silently zero) and concatenated bodies fail loudly with a 400.
+func DecodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("api: decode: %w", err)
+	}
+	if err := dec.Decode(&struct{}{}); !errors.Is(err, io.EOF) {
+		return fmt.Errorf("api: decode: trailing data after JSON body")
+	}
+	return nil
+}

@@ -20,6 +20,14 @@
 //
 //	soundboost live -analyzer analyzer.json -flight incident.sbf -speed 10
 //
+// Host the analyzer as a multi-session HTTP service (the /v1 API of the
+// api package: batch uploads plus concurrent streaming sessions), and
+// push a recorded flight at it from the client side:
+//
+//	soundboost serve -analyzer analyzer.json -addr 127.0.0.1:8713
+//	soundboost push -addr http://127.0.0.1:8713 -flight incident.sbf -mode batch
+//	soundboost push -addr http://127.0.0.1:8713 -flight incident.sbf -mode session
+//
 // Every subcommand accepts -debug-addr to enable the observability
 // layer and serve live pipeline metrics (/debug/metrics) and pprof
 // (/debug/pprof/) while it runs:
@@ -40,8 +48,6 @@ import (
 	soundboost "soundboost/internal/core"
 	"soundboost/internal/dataset"
 	"soundboost/internal/mavbus"
-	"soundboost/internal/obs"
-	"soundboost/internal/parallel"
 	"soundboost/internal/sim"
 	"soundboost/internal/stream"
 )
@@ -55,7 +61,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: soundboost <train|calibrate|rca|live> [flags]")
+		return fmt.Errorf("usage: soundboost <train|calibrate|rca|live|serve|push> [flags]")
 	}
 	switch args[0] {
 	case "train":
@@ -66,26 +72,12 @@ func run(args []string) error {
 		return runRCA(args[1:])
 	case "live":
 		return runLive(args[1:])
+	case "serve":
+		return runServe(args[1:])
+	case "push":
+		return runPush(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want train, calibrate, rca or live)", args[0])
-	}
-}
-
-// debugAddrFlag registers the shared -debug-addr flag on a subcommand
-// flag set and returns a func that starts the debug endpoint (enabling
-// the obs layer) once flags are parsed.
-func debugAddrFlag(fs *flag.FlagSet) func() error {
-	addr := fs.String("debug-addr", "", "serve /debug/metrics and /debug/pprof on this address (enables the obs layer)")
-	return func() error {
-		if *addr == "" {
-			return nil
-		}
-		bound, err := obs.Serve(*addr)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("debug endpoint on http://%s/debug/metrics\n", bound)
-		return nil
+		return fmt.Errorf("unknown subcommand %q (want train, calibrate, rca, live, serve or push)", args[0])
 	}
 }
 
@@ -123,14 +115,12 @@ func runTrain(args []string) error {
 		hidden    = fs.Int("hidden", 64, "regressor width")
 		epochs    = fs.Int("epochs", 60, "training epochs")
 		augment   = fs.Float64("augment", 5, "time-shift augmentation factor (0 = none)")
-		workers   = fs.Int("workers", 0, "worker-pool size for parallel stages (0 = GOMAXPROCS, 1 = serial)")
 	)
-	startDebug := debugAddrFlag(fs)
+	rt := addRuntimeFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	parallel.SetDefaultWorkers(*workers)
-	if err := startDebug(); err != nil {
+	if err := rt.apply(); err != nil {
 		return err
 	}
 	flights, err := loadFlightDir(*flightDir)
@@ -190,14 +180,12 @@ func runCalibrate(args []string) error {
 		modelPath = fs.String("model", "model.json", "trained model path")
 		calibDir  = fs.String("calib", "flights", "directory of benign calibration flights")
 		outPath   = fs.String("out", "analyzer.json", "output analyzer path")
-		workers   = fs.Int("workers", 0, "worker-pool size for parallel stages (0 = GOMAXPROCS, 1 = serial)")
 	)
-	startDebug := debugAddrFlag(fs)
+	rt := addRuntimeFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	parallel.SetDefaultWorkers(*workers)
-	if err := startDebug(); err != nil {
+	if err := rt.apply(); err != nil {
 		return err
 	}
 	analyzer, err := buildAnalyzer(*modelPath, *calibDir)
@@ -250,41 +238,21 @@ func buildAnalyzer(modelPath, calibDir string) (*soundboost.Analyzer, error) {
 
 func runRCA(args []string) error {
 	fs := flag.NewFlagSet("rca", flag.ContinueOnError)
-	var (
-		analyzerPath = fs.String("analyzer", "", "saved analyzer path (skips calibration)")
-		modelPath    = fs.String("model", "model.json", "trained model path (when no -analyzer)")
-		calibDir     = fs.String("calib", "flights", "directory of benign calibration flights (when no -analyzer)")
-		flightPath   = fs.String("flight", "", "flight to analyse (.sbf)")
-		workers      = fs.Int("workers", 0, "worker-pool size for parallel stages (0 = GOMAXPROCS, 1 = serial)")
-	)
-	startDebug := debugAddrFlag(fs)
+	flightPath := fs.String("flight", "", "flight to analyse (.sbf)")
+	af := addAnalyzerFlags(fs)
+	rt := addRuntimeFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	parallel.SetDefaultWorkers(*workers)
-	if err := startDebug(); err != nil {
+	if err := rt.apply(); err != nil {
 		return err
 	}
 	if *flightPath == "" {
 		return fmt.Errorf("-flight is required")
 	}
-	var analyzer *soundboost.Analyzer
-	if *analyzerPath != "" {
-		af, err := os.Open(*analyzerPath)
-		if err != nil {
-			return err
-		}
-		defer af.Close()
-		analyzer, err = soundboost.LoadAnalyzer(af)
-		if err != nil {
-			return err
-		}
-	} else {
-		var err error
-		analyzer, err = buildAnalyzer(*modelPath, *calibDir)
-		if err != nil {
-			return err
-		}
+	analyzer, err := af.load()
+	if err != nil {
+		return err
 	}
 	flight, err := dataset.LoadFile(*flightPath)
 	if err != nil {
@@ -312,46 +280,28 @@ func runRCA(args []string) error {
 func runLive(args []string) error {
 	fs := flag.NewFlagSet("live", flag.ContinueOnError)
 	var (
-		analyzerPath = fs.String("analyzer", "", "saved analyzer path (skips calibration)")
-		modelPath    = fs.String("model", "model.json", "trained model path (when no -analyzer)")
-		calibDir     = fs.String("calib", "flights", "directory of benign calibration flights (when no -analyzer)")
-		flightPath   = fs.String("flight", "", "flight to replay (.sbf)")
-		speed        = fs.Float64("speed", 10, "replay speed factor (1 = real time, 0 = as fast as possible)")
-		frameSec     = fs.Float64("frame", 0.05, "audio frame length in seconds")
-		dropRate     = fs.Float64("drop", 0, "telemetry (IMU/GPS) message drop probability")
-		audioDrop    = fs.Float64("audio-drop", 0, "audio frame drop probability")
-		seed         = fs.Int64("seed", 1, "drop-injection seed")
-		buffer       = fs.Int("buffer", 4096, "per-topic subscription buffer depth")
-		workers      = fs.Int("workers", 0, "worker-pool size for parallel stages (0 = GOMAXPROCS, 1 = serial)")
+		flightPath = fs.String("flight", "", "flight to replay (.sbf)")
+		speed      = fs.Float64("speed", 10, "replay speed factor (1 = real time, 0 = as fast as possible)")
+		frameSec   = fs.Float64("frame", 0.05, "audio frame length in seconds")
+		dropRate   = fs.Float64("drop", 0, "telemetry (IMU/GPS) message drop probability")
+		audioDrop  = fs.Float64("audio-drop", 0, "audio frame drop probability")
+		seed       = fs.Int64("seed", 1, "drop-injection seed")
+		buffer     = fs.Int("buffer", 4096, "per-topic subscription buffer depth")
 	)
-	startDebug := debugAddrFlag(fs)
+	af := addAnalyzerFlags(fs)
+	rt := addRuntimeFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	parallel.SetDefaultWorkers(*workers)
-	if err := startDebug(); err != nil {
+	if err := rt.apply(); err != nil {
 		return err
 	}
 	if *flightPath == "" {
 		return fmt.Errorf("-flight is required")
 	}
-	var analyzer *soundboost.Analyzer
-	if *analyzerPath != "" {
-		af, err := os.Open(*analyzerPath)
-		if err != nil {
-			return err
-		}
-		defer af.Close()
-		analyzer, err = soundboost.LoadAnalyzer(af)
-		if err != nil {
-			return err
-		}
-	} else {
-		var err error
-		analyzer, err = buildAnalyzer(*modelPath, *calibDir)
-		if err != nil {
-			return err
-		}
+	analyzer, err := af.load()
+	if err != nil {
+		return err
 	}
 	flight, err := dataset.LoadFile(*flightPath)
 	if err != nil {
@@ -359,10 +309,9 @@ func runLive(args []string) error {
 	}
 
 	bus := mavbus.NewBus(0)
-	eng, err := stream.NewEngine(analyzer, flight.Audio.SampleRate, stream.Config{
-		Buffer:     *buffer,
-		FlightName: flight.Name,
-	})
+	eng, err := stream.New(analyzer, flight.Audio.SampleRate,
+		stream.WithBuffer(*buffer),
+		stream.WithFlightName(flight.Name))
 	if err != nil {
 		return err
 	}

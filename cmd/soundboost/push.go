@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"soundboost/api"
+	"soundboost/internal/dataset"
+)
+
+// runPush is the client side of `soundboost serve`: it sends a recorded
+// flight to a running service — in one shot (POST /v1/flights) or
+// chunked through a streaming session — and prints the returned verdict
+// in exactly the format of `soundboost rca`, so the two outputs diff
+// clean when the service is healthy. Progress goes to stderr.
+func runPush(args []string) error {
+	fs := flag.NewFlagSet("push", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "http://127.0.0.1:8713", "service base URL")
+		flightPath = fs.String("flight", "", "flight to push (.sbf)")
+		mode       = fs.String("mode", "batch", "batch (one-shot upload) or session (chunked streaming)")
+		frameSec   = fs.Float64("frame", 0.05, "audio frame length in seconds (session mode)")
+		chunkSec   = fs.Float64("chunk", 2, "flight seconds per frames request (session mode, 0 = single request)")
+		buffer     = fs.Int("buffer", 1<<15, "server-side per-topic buffer depth (session mode)")
+	)
+	rt := addRuntimeFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := rt.apply(); err != nil {
+		return err
+	}
+	if *flightPath == "" {
+		return fmt.Errorf("-flight is required")
+	}
+	flight, err := dataset.LoadFile(*flightPath)
+	if err != nil {
+		return err
+	}
+	base := strings.TrimRight(*addr, "/")
+
+	var wire api.Report
+	switch *mode {
+	case "batch":
+		wire, err = pushBatch(base, *flightPath)
+	case "session":
+		wire, err = pushSession(base, flight, *frameSec, *chunkSec, *buffer)
+	default:
+		return fmt.Errorf("unknown -mode %q (want batch or session)", *mode)
+	}
+	if err != nil {
+		return err
+	}
+
+	report := wire.ToCore()
+	fmt.Print(report.String())
+	if flight.Scenario.IsAttack() {
+		fmt.Printf("  (ground truth: %s during [%.1f, %.1f))\n",
+			flight.Scenario.Kind, flight.Scenario.Window.Start, flight.Scenario.Window.End)
+	} else {
+		fmt.Println("  (ground truth: benign)")
+	}
+	return nil
+}
+
+// postJSON round-trips one JSON request against the service.
+func postJSON(method, url string, body io.Reader, out any) error {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var apiErr api.Error
+		if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("%s: %s (%s)", url, apiErr.Error, apiErr.Code)
+		}
+		return fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, raw)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// pushBatch uploads the raw .sbf file for one-shot batch RCA.
+func pushBatch(base, path string) (api.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return api.Report{}, err
+	}
+	defer f.Close()
+	req, err := http.NewRequest("POST", base+"/v1/flights", f)
+	if err != nil {
+		return api.Report{}, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return api.Report{}, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return api.Report{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var apiErr api.Error
+		if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
+			return api.Report{}, fmt.Errorf("upload: %s (%s)", apiErr.Error, apiErr.Code)
+		}
+		return api.Report{}, fmt.Errorf("upload: HTTP %d: %s", resp.StatusCode, raw)
+	}
+	var out api.FlightResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return api.Report{}, err
+	}
+	fmt.Fprintf(os.Stderr, "batch analysis took %.2f s server-side\n", out.ElapsedSeconds)
+	return out.Report, nil
+}
+
+// pushSession streams the flight through a session: create, feed frame
+// batches, read the final report.
+func pushSession(base string, flight *dataset.Flight, frameSec, chunkSec float64, buffer int) (api.Report, error) {
+	var created api.SessionResponse
+	body, err := json.Marshal(api.SessionRequest{
+		Flight:       flight.Name,
+		SampleRateHz: flight.Audio.SampleRate,
+		Buffer:       buffer,
+	})
+	if err != nil {
+		return api.Report{}, err
+	}
+	if err := postJSON("POST", base+"/v1/sessions", bytes.NewReader(body), &created); err != nil {
+		return api.Report{}, err
+	}
+	fmt.Fprintf(os.Stderr, "session %s open\n", created.ID)
+
+	reqs, err := api.ChunkFlight(flight, frameSec, chunkSec)
+	if err != nil {
+		return api.Report{}, err
+	}
+	sessURL := base + "/v1/sessions/" + created.ID
+	total := 0
+	for i, r := range reqs {
+		raw, err := json.Marshal(r)
+		if err != nil {
+			return api.Report{}, err
+		}
+		var resp api.FramesResponse
+		if err := postJSON("POST", sessURL+"/frames", bytes.NewReader(raw), &resp); err != nil {
+			return api.Report{}, fmt.Errorf("frames %d/%d: %w", i+1, len(reqs), err)
+		}
+		total += resp.Accepted
+		if resp.Shed > 0 {
+			fmt.Fprintf(os.Stderr, "warning: server shed %d messages; verdict may diverge from batch\n", resp.Shed)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "streamed %d messages in %d requests; waiting for verdict\n", total, len(reqs))
+	var report api.Report
+	if err := postJSON("GET", sessURL+"/report", nil, &report); err != nil {
+		return api.Report{}, err
+	}
+	return report, nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"soundboost/internal/server"
+)
+
+// runServe hosts the calibrated analyzer as a multi-session HTTP RCA
+// service speaking the /v1 API (see the api package and DESIGN.md). It
+// drains gracefully on SIGINT/SIGTERM: open sessions are closed, their
+// verdicts flushed, and the listener shut down.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8713", "listen address")
+		maxSessions = fs.Int("max-sessions", 0, "session-table cap (0 = default 64)")
+		maxJobs     = fs.Int("max-jobs", 0, "concurrent batch analyses (0 = default 4)")
+		idle        = fs.Duration("idle-timeout", 0, "close sessions idle this long (0 = default 60s)")
+		maxAge      = fs.Duration("max-age", 0, "hard per-session deadline (0 = default 15m)")
+		drainWait   = fs.Duration("drain", 30*time.Second, "graceful-drain budget on shutdown")
+	)
+	af := addAnalyzerFlags(fs)
+	rt := addRuntimeFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := rt.apply(); err != nil {
+		return err
+	}
+	analyzer, err := af.load()
+	if err != nil {
+		return err
+	}
+	svc, err := server.New(analyzer, server.Config{
+		MaxSessions:   *maxSessions,
+		MaxJobs:       *maxJobs,
+		IdleTimeout:   *idle,
+		MaxSessionAge: *maxAge,
+		Logf:          func(format string, a ...any) { fmt.Printf(format+"\n", a...) },
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc}
+	fmt.Printf("serving /v1 RCA API on http://%s (healthz: /v1/healthz)\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+
+	fmt.Printf("signal received; draining (budget %s)...\n", *drainWait)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	// Drain sessions first (reports stay readable), then the listener.
+	drainErr := svc.Shutdown(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	fmt.Println("drained; bye")
+	return nil
+}

@@ -1,0 +1,58 @@
+package soundboost
+
+import (
+	"fmt"
+
+	"soundboost/internal/kalman"
+)
+
+// AnalyzerOption configures NewAnalyzer's calibration. The zero option
+// set reproduces the historical behaviour: default detector configs and
+// the process-wide worker count.
+type AnalyzerOption func(*analyzerOptions)
+
+type analyzerOptions struct {
+	workers int
+	imuCfg  IMUDetectorConfig
+	gpsCfgs map[kalman.Mode]GPSDetectorConfig
+}
+
+func defaultAnalyzerOptions() analyzerOptions {
+	return analyzerOptions{
+		imuCfg: DefaultIMUDetectorConfig(),
+		gpsCfgs: map[kalman.Mode]GPSDetectorConfig{
+			kalman.ModeAudioOnly: DefaultGPSDetectorConfig(kalman.ModeAudioOnly),
+			kalman.ModeAudioIMU:  DefaultGPSDetectorConfig(kalman.ModeAudioIMU),
+		},
+	}
+}
+
+// WithWorkers sets the worker count for the calibration fan-out
+// (0 = the process-wide default from parallel.SetDefaultWorkers).
+func WithWorkers(n int) AnalyzerOption {
+	return func(o *analyzerOptions) { o.workers = n }
+}
+
+// WithIMUConfig overrides the stage-1 IMU detector configuration.
+func WithIMUConfig(cfg IMUDetectorConfig) AnalyzerOption {
+	return func(o *analyzerOptions) { o.imuCfg = cfg }
+}
+
+// WithKFVariant overrides the GPS detector configuration for the KF
+// variant named by cfg.Mode (kalman.ModeAudioOnly or
+// kalman.ModeAudioIMU); the other variant keeps its default. Passing an
+// unknown mode makes NewAnalyzer fail with a descriptive error.
+func WithKFVariant(cfg GPSDetectorConfig) AnalyzerOption {
+	return func(o *analyzerOptions) { o.gpsCfgs[cfg.Mode] = cfg }
+}
+
+// validate rejects option combinations the analyzer cannot calibrate.
+func (o *analyzerOptions) validate() error {
+	for mode := range o.gpsCfgs {
+		if mode != kalman.ModeAudioOnly && mode != kalman.ModeAudioIMU {
+			return fmt.Errorf("soundboost: WithKFVariant: analyzer KF variant must be %q or %q, got %q",
+				kalman.ModeAudioOnly, kalman.ModeAudioIMU, mode)
+		}
+	}
+	return nil
+}

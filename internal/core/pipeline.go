@@ -1,18 +1,20 @@
 package soundboost
 
 import (
-	"errors"
 	"fmt"
 	"strings"
 
 	"soundboost/internal/dataset"
+	"soundboost/internal/faults"
 	"soundboost/internal/kalman"
 	"soundboost/internal/parallel"
 )
 
 // ErrNoFlight is returned by Analyze when given a nil flight or one with
 // no telemetry and no audio — there is nothing to attribute a cause to.
-var ErrNoFlight = errors.New("soundboost: nil or empty flight")
+// It aliases faults.ErrNoFlight, the repository-wide error set, so
+// errors.Is matches under either name.
+var ErrNoFlight = faults.ErrNoFlight
 
 // RootCause is the outcome category of a full RCA run.
 type RootCause string
@@ -81,9 +83,20 @@ type Analyzer struct {
 
 // NewAnalyzer calibrates all detectors from benign flights. The three
 // calibrations are independent and run concurrently on the worker pool.
-func NewAnalyzer(model *AcousticModel, benignFlights []*dataset.Flight) (*Analyzer, error) {
+// Functional options (WithWorkers, WithIMUConfig, WithKFVariant)
+// customize the calibration; with none the defaults reproduce the
+// historical two-argument behaviour, so existing call sites compile and
+// behave unchanged.
+func NewAnalyzer(model *AcousticModel, benignFlights []*dataset.Flight, opts ...AnalyzerOption) (*Analyzer, error) {
 	if model == nil {
 		return nil, fmt.Errorf("soundboost: nil model")
+	}
+	o := defaultAnalyzerOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
 	}
 	span := analyzerCalibTimer.Start()
 	defer span.Stop()
@@ -91,10 +104,10 @@ func NewAnalyzer(model *AcousticModel, benignFlights []*dataset.Flight) (*Analyz
 		imu                 *IMUDetector
 		audioOnly, audioIMU *GPSDetector
 	)
-	err := parallel.Run(0,
+	err := parallel.Run(o.workers,
 		func() error {
 			var err error
-			imu, err = NewIMUDetector(model, benignFlights, DefaultIMUDetectorConfig())
+			imu, err = NewIMUDetector(model, benignFlights, o.imuCfg)
 			if err != nil {
 				return fmt.Errorf("soundboost: IMU detector: %w", err)
 			}
@@ -102,7 +115,7 @@ func NewAnalyzer(model *AcousticModel, benignFlights []*dataset.Flight) (*Analyz
 		},
 		func() error {
 			var err error
-			audioOnly, err = NewGPSDetector(model, benignFlights, DefaultGPSDetectorConfig(kalman.ModeAudioOnly))
+			audioOnly, err = NewGPSDetector(model, benignFlights, o.gpsCfgs[kalman.ModeAudioOnly])
 			if err != nil {
 				return fmt.Errorf("soundboost: audio-only GPS detector: %w", err)
 			}
@@ -110,7 +123,7 @@ func NewAnalyzer(model *AcousticModel, benignFlights []*dataset.Flight) (*Analyz
 		},
 		func() error {
 			var err error
-			audioIMU, err = NewGPSDetector(model, benignFlights, DefaultGPSDetectorConfig(kalman.ModeAudioIMU))
+			audioIMU, err = NewGPSDetector(model, benignFlights, o.gpsCfgs[kalman.ModeAudioIMU])
 			if err != nil {
 				return fmt.Errorf("soundboost: audio+IMU GPS detector: %w", err)
 			}

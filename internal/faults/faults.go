@@ -1,0 +1,59 @@
+// Package faults is SoundBoost's documented error set: the sentinel
+// errors shared by the analysis pipeline (internal/core), the telemetry
+// bus (internal/mavbus), the streaming engine (internal/stream), and the
+// RCA service (internal/server). Consolidating them in one leaf package
+// gives every layer a single vocabulary that callers can match with
+// errors.Is, and gives the HTTP layer a stable mapping from failure kind
+// to status code without string inspection.
+//
+// Each error below documents the condition it names and, where the
+// server returns it over the wire, the HTTP status it maps to. Packages
+// re-export the sentinels relevant to their own API (core.ErrNoFlight,
+// mavbus.ErrClosed, stream.ErrNotAttached) as aliases of the same
+// values, so errors.Is matches across layers no matter which name a
+// caller imported.
+package faults
+
+import "errors"
+
+var (
+	// ErrNoFlight is returned by Analyzer.Analyze when given a nil
+	// flight or one with no telemetry and no audio — there is nothing to
+	// attribute a cause to. HTTP: 422 Unprocessable Entity.
+	ErrNoFlight = errors.New("soundboost: nil or empty flight")
+
+	// ErrBusClosed is returned when publishing to or subscribing on a
+	// closed mavbus. A server session whose bus has been closed reports
+	// it for late frame posts. HTTP: 409 Conflict.
+	ErrBusClosed = errors.New("mavbus: bus closed")
+
+	// ErrEngineDetached is returned by stream.Engine.Run when the engine
+	// was never attached to a bus, so there are no subscriptions to
+	// consume. HTTP: 500 (an internal wiring invariant, never a client
+	// fault).
+	ErrEngineDetached = errors.New("stream: engine not attached to a bus")
+
+	// ErrSessionNotFound is returned for session ids that do not exist,
+	// were evicted, or expired and were swept. HTTP: 404 Not Found.
+	ErrSessionNotFound = errors.New("server: session not found")
+
+	// ErrSessionClosed is returned when frames are posted to a session
+	// whose stream has already been closed (explicitly, by idle timeout,
+	// or by its hard deadline). HTTP: 409 Conflict.
+	ErrSessionClosed = errors.New("server: session already closed")
+
+	// ErrSessionOpen is returned when a final report is requested from a
+	// session that is still streaming — close the session first. HTTP:
+	// 409 Conflict.
+	ErrSessionOpen = errors.New("server: session still open")
+
+	// ErrCapacity is returned when the session table is full of live
+	// sessions or the batch worker pool has no free slot. HTTP: 429 Too
+	// Many Requests with Retry-After.
+	ErrCapacity = errors.New("server: at capacity")
+
+	// ErrUnprocessable wraps payloads that parsed as a request but do
+	// not decode into a usable flight or frame set. HTTP: 422
+	// Unprocessable Entity.
+	ErrUnprocessable = errors.New("server: unprocessable payload")
+)

@@ -10,11 +10,11 @@
 package mavbus
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
+	"soundboost/internal/faults"
 	"soundboost/internal/obs"
 )
 
@@ -27,8 +27,10 @@ var (
 	busDropped   = obs.Default.Counter("mavbus.dropped")
 )
 
-// ErrClosed is returned when operating on a closed bus.
-var ErrClosed = errors.New("mavbus: bus closed")
+// ErrClosed is returned when operating on a closed bus. It aliases
+// faults.ErrBusClosed, the repository-wide error set, so errors.Is
+// matches under either name.
+var ErrClosed = faults.ErrBusClosed
 
 // Message is one telemetry item on the bus.
 type Message struct {

@@ -1,0 +1,71 @@
+package parallel
+
+import (
+	"context"
+	"fmt"
+
+	"soundboost/internal/obs"
+)
+
+// Limiter is a non-blocking admission semaphore for long-lived job
+// pools. Where ForEach/Map/Run fan one batch out over workers, a Limiter
+// bounds how many independent batches may be in flight at once — the
+// server uses one to cap concurrent flight analyses, shedding the
+// overflow with backpressure instead of queueing unboundedly. A per-name
+// obs gauge (parallel.limiter.<name>.in_use) tracks the live slot count.
+type Limiter struct {
+	slots chan struct{}
+	inUse *obs.Gauge
+}
+
+// NewLimiter builds a limiter with the given slot capacity (minimum 1).
+// name labels the limiter's metrics.
+func NewLimiter(name string, capacity int) *Limiter {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Limiter{
+		slots: make(chan struct{}, capacity),
+		inUse: obs.Default.Gauge(fmt.Sprintf("parallel.limiter.%s.in_use", name)),
+	}
+}
+
+// Cap returns the limiter's slot capacity.
+func (l *Limiter) Cap() int { return cap(l.slots) }
+
+// InUse returns the number of currently held slots.
+func (l *Limiter) InUse() int { return len(l.slots) }
+
+// TryAcquire claims a slot without blocking; it reports false when the
+// limiter is saturated (the caller should shed the work).
+func (l *Limiter) TryAcquire() bool {
+	select {
+	case l.slots <- struct{}{}:
+		l.inUse.Set(float64(len(l.slots)))
+		return true
+	default:
+		return false
+	}
+}
+
+// Acquire blocks until a slot frees or the context is done.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		l.inUse.Set(float64(len(l.slots)))
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot claimed by TryAcquire or Acquire. Releasing
+// more than was acquired panics — it means a bookkeeping bug upstream.
+func (l *Limiter) Release() {
+	select {
+	case <-l.slots:
+		l.inUse.Set(float64(len(l.slots)))
+	default:
+		panic("parallel: Limiter.Release without a held slot")
+	}
+}

@@ -1,0 +1,93 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLimiterTryAcquire(t *testing.T) {
+	l := NewLimiter("test-try", 2)
+	if l.Cap() != 2 {
+		t.Fatalf("Cap() = %d, want 2", l.Cap())
+	}
+	if !l.TryAcquire() || !l.TryAcquire() {
+		t.Fatal("TryAcquire failed with free slots")
+	}
+	if l.TryAcquire() {
+		t.Fatal("TryAcquire succeeded past capacity")
+	}
+	if got := l.InUse(); got != 2 {
+		t.Fatalf("InUse() = %d, want 2", got)
+	}
+	l.Release()
+	if !l.TryAcquire() {
+		t.Fatal("TryAcquire failed after Release")
+	}
+	l.Release()
+	l.Release()
+}
+
+func TestLimiterAcquireContext(t *testing.T) {
+	l := NewLimiter("test-ctx", 1)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire on empty limiter: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := l.Acquire(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Acquire on full limiter = %v, want deadline exceeded", err)
+	}
+	l.Release()
+}
+
+func TestLimiterReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without a held slot did not panic")
+		}
+	}()
+	NewLimiter("test-panic", 1).Release()
+}
+
+// TestLimiterConcurrentCap hammers the limiter from many goroutines and
+// checks the in-flight count never exceeds capacity.
+func TestLimiterConcurrentCap(t *testing.T) {
+	const capacity = 3
+	l := NewLimiter("test-conc", capacity)
+	var inFlight, peak, admitted atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if !l.TryAcquire() {
+					continue
+				}
+				admitted.Add(1)
+				n := inFlight.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				inFlight.Add(-1)
+				l.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > capacity {
+		t.Errorf("peak in-flight %d exceeds capacity %d", p, capacity)
+	}
+	if admitted.Load() == 0 {
+		t.Error("no acquisitions admitted at all")
+	}
+	if l.InUse() != 0 {
+		t.Errorf("InUse() = %d after drain, want 0", l.InUse())
+	}
+}

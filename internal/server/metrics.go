@@ -1,0 +1,28 @@
+package server
+
+import "soundboost/internal/obs"
+
+// Server metrics, resolved once at init and gated by obs.Enable (serve
+// them with -debug-addr). server.sessions.active tracks table occupancy;
+// the reject counters split backpressure by cause (full session table vs
+// full batch pool); the per-endpoint timers are latency histograms with
+// p50/p95/p99 in the registry snapshot. The batch pool's live queue
+// depth is parallel.limiter.batch-rca.in_use.
+var (
+	sessionsActive   = obs.Default.Gauge("server.sessions.active")
+	sessionsOpened   = obs.Default.Counter("server.sessions.opened")
+	sessionsClosed   = obs.Default.Counter("server.sessions.closed")
+	sessionsExpired  = obs.Default.Counter("server.sessions.expired_idle")
+	sessionsDeadline = obs.Default.Counter("server.sessions.expired_deadline")
+	sessionsEvicted  = obs.Default.Counter("server.sessions.evicted")
+	sessionsRejected = obs.Default.Counter("server.sessions.rejected")
+	jobsRejected     = obs.Default.Counter("server.jobs.rejected")
+	framesAccepted   = obs.Default.Counter("server.frames.accepted")
+	httpErrors       = obs.Default.Counter("server.http.errors")
+
+	flightsTimer  = obs.Default.Timer("server.http.flights")
+	sessionsTimer = obs.Default.Timer("server.http.sessions.create")
+	framesTimer   = obs.Default.Timer("server.http.sessions.frames")
+	reportTimer   = obs.Default.Timer("server.http.sessions.report")
+	statusTimer   = obs.Default.Timer("server.http.sessions.status")
+)

@@ -1,0 +1,406 @@
+// Package server is SoundBoost's multi-session RCA service: one shared
+// calibrated Analyzer serving many concurrent flights over HTTP. Batch
+// uploads (POST /v1/flights) run the offline pipeline under a bounded
+// admission pool; streaming sessions (POST /v1/sessions + frames) feed a
+// per-session mavbus into a per-session stream.Engine, so a streamed
+// flight yields the same verdict as a batch upload of the same
+// recording. All request/response bodies are the schema-versioned DTOs
+// of the top-level api package; internal structs never cross the wire.
+//
+// Resource bounds and backpressure: the session table is capped
+// (finished sessions are LRU-evicted to make room; when every slot is
+// live, creation sheds with 429 + Retry-After), the batch pool is a
+// parallel.Limiter (full → 429), per-session idle timeouts and hard
+// deadlines reclaim abandoned streams, and Shutdown drains gracefully:
+// no new work, open streams closed, verdicts flushed.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"soundboost/api"
+	soundboost "soundboost/internal/core"
+	"soundboost/internal/dataset"
+	"soundboost/internal/faults"
+	"soundboost/internal/parallel"
+)
+
+// errShuttingDown sheds requests arriving during a graceful drain
+// (HTTP 503). Unexported: it is a lifecycle condition of this server,
+// not part of the shared fault vocabulary.
+var errShuttingDown = errors.New("server: shutting down")
+
+// Config tunes the service. The zero value selects the defaults noted
+// on each field.
+type Config struct {
+	// MaxSessions bounds the session table, finished sessions included
+	// (default 64).
+	MaxSessions int
+	// MaxJobs bounds concurrent batch flight analyses (default 4).
+	MaxJobs int
+	// IdleTimeout closes an open session that has received no frames
+	// for this long (default 60s).
+	IdleTimeout time.Duration
+	// MaxSessionAge is the hard deadline: an open session older than
+	// this is closed regardless of activity (default 15m).
+	MaxSessionAge time.Duration
+	// SessionBuffer is the default per-topic subscription depth for
+	// session engines (default 8192); SessionRequest.Buffer overrides
+	// per session.
+	SessionBuffer int
+	// MaxBodyBytes caps request bodies (default 256 MiB — a flight
+	// upload carries raw audio).
+	MaxBodyBytes int64
+	// SweepInterval is the janitor tick (default 1s).
+	SweepInterval time.Duration
+	// RetryAfterSeconds is advertised on 429 responses (default 1).
+	RetryAfterSeconds int
+	// Logf, when set, receives one line per lifecycle event (session
+	// opened/closed/evicted, drain).
+	Logf func(format string, a ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 60 * time.Second
+	}
+	if c.MaxSessionAge <= 0 {
+		c.MaxSessionAge = 15 * time.Minute
+	}
+	if c.SessionBuffer <= 0 {
+		c.SessionBuffer = 8192
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = time.Second
+	}
+	if c.RetryAfterSeconds <= 0 {
+		c.RetryAfterSeconds = 1
+	}
+	return c
+}
+
+// Server hosts the RCA service over one shared calibrated analyzer.
+type Server struct {
+	an   *soundboost.Analyzer
+	cfg  Config
+	jobs *parallel.Limiter
+	mux  *http.ServeMux
+	now  func() time.Time
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   int
+	draining bool
+
+	wg          sync.WaitGroup
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+}
+
+// New builds a server around a calibrated analyzer and starts its
+// janitor. Callers must Shutdown (or Close) to stop it.
+func New(an *soundboost.Analyzer, cfg Config) (*Server, error) {
+	if an == nil || an.Model == nil || an.IMU == nil || an.GPSAudioOnly == nil || an.GPSAudioIMU == nil {
+		return nil, fmt.Errorf("server: nil or incomplete analyzer")
+	}
+	s := &Server{
+		an:          an,
+		cfg:         cfg.withDefaults(),
+		now:         time.Now,
+		sessions:    make(map[string]*session),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	s.jobs = parallel.NewLimiter("batch-rca", s.cfg.MaxJobs)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /"+api.Version+"/flights", s.handleFlights)
+	s.mux.HandleFunc("POST /"+api.Version+"/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("POST /"+api.Version+"/sessions/{id}/frames", s.handleFrames)
+	s.mux.HandleFunc("GET /"+api.Version+"/sessions/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /"+api.Version+"/sessions/{id}/status", s.handleStatus)
+	s.mux.HandleFunc("GET /"+api.Version+"/healthz", s.handleHealthz)
+	go s.janitor()
+	return s, nil
+}
+
+func (s *Server) logf(format string, a ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, a...)
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown drains the service: no new sessions or batch jobs are
+// admitted, every open session's stream is closed, and all engines are
+// given until ctx expires to flush their final verdicts. The HTTP
+// listener itself is the caller's to stop (http.Server.Shutdown) —
+// status and report reads keep working during the drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	open := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		open = append(open, sess)
+	}
+	s.mu.Unlock()
+	if !already {
+		close(s.janitorStop)
+		<-s.janitorDone
+		s.logf("drain: closing %d session(s)", len(open))
+	}
+	for _, sess := range open {
+		sess.closeStream()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.logf("drain: complete")
+		return nil
+	case <-ctx.Done():
+		// Abandon straggler engines: detach them so their goroutines
+		// unwind even if a publisher still holds the bus.
+		for _, sess := range open {
+			sess.eng.Close()
+		}
+		return ctx.Err()
+	}
+}
+
+// --- handlers ---
+
+// handleFlights runs batch RCA over an uploaded .sbf recording. The
+// request body is the raw flight file; admission is bounded by the job
+// limiter and sheds with 429 when saturated.
+func (s *Server) handleFlights(w http.ResponseWriter, r *http.Request) {
+	span := flightsTimer.Start()
+	defer span.Stop()
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		s.writeError(w, errShuttingDown)
+		return
+	}
+	if !s.jobs.TryAcquire() {
+		jobsRejected.Inc()
+		s.writeError(w, fmt.Errorf("%w: %d batch jobs in flight (cap %d)",
+			faults.ErrCapacity, s.jobs.InUse(), s.jobs.Cap()))
+		return
+	}
+	defer s.jobs.Release()
+	start := s.now()
+	flight, err := dataset.Load(r.Body)
+	if err != nil {
+		s.writeError(w, fmt.Errorf("%w: %v", faults.ErrUnprocessable, err))
+		return
+	}
+	report, err := s.an.Analyze(flight)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, api.FlightResponse{
+		Report:         api.ReportFromCore(report),
+		ElapsedSeconds: s.now().Sub(start).Seconds(),
+	})
+}
+
+// handleSessionCreate opens a streaming session.
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	span := sessionsTimer.Start()
+	defer span.Stop()
+	var req api.SessionRequest
+	if err := api.DecodeStrict(r.Body, &req); err != nil {
+		s.writeBadRequest(w, err)
+		return
+	}
+	sess, err := s.createSession(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, api.SessionResponse{
+		SchemaVersion: api.Version,
+		ID:            sess.id,
+		State:         sess.stateNow(),
+	})
+}
+
+// handleFrames feeds one batch of telemetry into a session's bus. The
+// three streams are merged by timestamp (stable: audio before IMU
+// before GPS at equal times, matching stream.Replay) and published in
+// order.
+func (s *Server) handleFrames(w http.ResponseWriter, r *http.Request) {
+	span := framesTimer.Start()
+	defer span.Stop()
+	sess, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var req api.FramesRequest
+	if err := api.DecodeStrict(r.Body, &req); err != nil {
+		s.writeBadRequest(w, err)
+		return
+	}
+	if sess.stateNow() != api.SessionOpen {
+		s.writeError(w, fmt.Errorf("%w: %q", faults.ErrSessionClosed, sess.id))
+		return
+	}
+	sess.touch(s.now())
+	accepted, err := sess.publish(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	framesAccepted.Add(int64(accepted))
+	if req.Close {
+		if sess.closeStream() {
+			sessionsClosed.Inc()
+			s.logf("session %s closed by client", sess.id)
+		}
+	}
+	s.writeJSON(w, http.StatusOK, api.FramesResponse{
+		SchemaVersion: api.Version,
+		Accepted:      accepted,
+		Shed:          sess.bus.Dropped(),
+		State:         sess.stateNow(),
+	})
+}
+
+// handleReport returns a session's final verdict. The stream must be
+// closed first (409 otherwise); the handler then waits for the engine's
+// flush, bounded by the request context.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	span := reportTimer.Start()
+	defer span.Stop()
+	sess, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if sess.stateNow() == api.SessionOpen {
+		s.writeError(w, fmt.Errorf("%w: %q (close the stream first)", faults.ErrSessionOpen, sess.id))
+		return
+	}
+	select {
+	case <-sess.done:
+	case <-r.Context().Done():
+		return // client gave up while the engine was flushing
+	}
+	sess.mu.Lock()
+	report, runErr := sess.report, sess.runErr
+	sess.mu.Unlock()
+	if runErr != nil {
+		s.writeError(w, runErr)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, api.ReportFromCore(report))
+}
+
+// handleStatus returns a live session snapshot. Status polls do not
+// refresh the idle timeout — only frames keep a session alive.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	span := statusTimer.Start()
+	defer span.Stop()
+	sess, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, sess.snapshot(s.now()))
+}
+
+// handleHealthz reports liveness and occupancy.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	status := "ok"
+	if s.draining {
+		status = "draining"
+	}
+	n := len(s.sessions)
+	s.mu.Unlock()
+	s.writeJSON(w, http.StatusOK, api.Health{
+		SchemaVersion:  api.Version,
+		Status:         status,
+		ActiveSessions: n,
+		SessionCap:     s.cfg.MaxSessions,
+		JobsInFlight:   s.jobs.InUse(),
+		JobCap:         s.jobs.Cap(),
+	})
+}
+
+// --- response plumbing ---
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeBadRequest reports a body that failed strict decoding (400).
+func (s *Server) writeBadRequest(w http.ResponseWriter, err error) {
+	httpErrors.Inc()
+	s.writeJSON(w, http.StatusBadRequest, api.Error{Code: api.CodeBadRequest, Error: err.Error()})
+}
+
+// writeError maps the shared fault vocabulary onto HTTP statuses: this
+// is the single place wire status codes are decided.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	httpErrors.Inc()
+	status, code := http.StatusInternalServerError, api.CodeInternal
+	switch {
+	case errors.Is(err, faults.ErrSessionNotFound):
+		status, code = http.StatusNotFound, api.CodeNotFound
+	case errors.Is(err, faults.ErrSessionClosed),
+		errors.Is(err, faults.ErrSessionOpen),
+		errors.Is(err, faults.ErrBusClosed):
+		status, code = http.StatusConflict, api.CodeConflict
+	case errors.Is(err, faults.ErrNoFlight),
+		errors.Is(err, faults.ErrUnprocessable):
+		status, code = http.StatusUnprocessableEntity, api.CodeUnprocessable
+	case errors.Is(err, faults.ErrCapacity):
+		status, code = http.StatusTooManyRequests, api.CodeCapacity
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
+	case errors.Is(err, errShuttingDown):
+		status, code = http.StatusServiceUnavailable, api.CodeShuttingDown
+	case isMaxBytes(err):
+		status, code = http.StatusRequestEntityTooLarge, api.CodeBadRequest
+	}
+	s.writeJSON(w, status, api.Error{Code: code, Error: err.Error()})
+}
+
+// isMaxBytes detects http.MaxBytesReader truncation surfaced through
+// decode/load errors.
+func isMaxBytes(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe) || strings.Contains(err.Error(), "request body too large")
+}

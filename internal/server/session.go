@@ -1,0 +1,309 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"soundboost/api"
+	soundboost "soundboost/internal/core"
+	"soundboost/internal/faults"
+	"soundboost/internal/mavbus"
+	"soundboost/internal/stream"
+)
+
+// session is one live (or recently finished) streaming RCA run: a
+// private mavbus carrying the client's telemetry into a dedicated
+// engine. Lifecycle: open (accepting frames) → draining (end-of-stream
+// seen, engine flushing) → done (final report held until eviction). See
+// DESIGN.md "Session lifecycle".
+type session struct {
+	id      string
+	flight  string
+	bus     *mavbus.Bus
+	eng     *stream.Engine
+	created time.Time
+
+	// done closes when the engine goroutine has stored its report.
+	done chan struct{}
+
+	mu        sync.Mutex
+	state     string
+	lastTouch time.Time
+	report    soundboost.Report
+	runErr    error
+}
+
+// run consumes the session's bus until it closes, then records the
+// final verdict. It is the session's only long-lived goroutine.
+func (s *session) run() {
+	report, err := s.eng.Run(context.Background())
+	s.mu.Lock()
+	s.report = report
+	s.runErr = err
+	s.state = api.SessionDone
+	s.mu.Unlock()
+	close(s.done)
+}
+
+// touch refreshes the idle clock (frame activity only — status polls do
+// not keep a session alive).
+func (s *session) touch(now time.Time) {
+	s.mu.Lock()
+	s.lastTouch = now
+	s.mu.Unlock()
+}
+
+// closeStream ends the session's input stream: open → draining, bus
+// closed so the engine flushes and finalizes. Idempotent; reports
+// whether this call performed the transition.
+func (s *session) closeStream() bool {
+	s.mu.Lock()
+	if s.state != api.SessionOpen {
+		s.mu.Unlock()
+		return false
+	}
+	s.state = api.SessionDraining
+	s.mu.Unlock()
+	s.bus.Close()
+	return true
+}
+
+// snapshot returns the session's wire status.
+func (s *session) snapshot(now time.Time) api.SessionStatus {
+	s.mu.Lock()
+	state := s.state
+	last := s.lastTouch
+	s.mu.Unlock()
+	return api.SessionStatus{
+		SchemaVersion: api.Version,
+		ID:            s.id,
+		Flight:        s.flight,
+		State:         state,
+		AgeSeconds:    now.Sub(s.created).Seconds(),
+		IdleSeconds:   now.Sub(last).Seconds(),
+		Shed:          s.bus.Dropped(),
+		Engine:        api.EngineStatusFromStream(s.eng.Status()),
+	}
+}
+
+// publish feeds one FramesRequest into the session bus. The three
+// streams are merged by timestamp — stable, audio appended before IMU
+// before GPS at equal times — exactly mirroring stream.Replay's event
+// ordering so a chunked upload reproduces the batch verdict.
+func (s *session) publish(req api.FramesRequest) (int, error) {
+	type event struct {
+		t   float64
+		msg mavbus.Message
+	}
+	events := make([]event, 0, len(req.Audio)+len(req.IMU)+len(req.GPS))
+	for _, f := range req.Audio {
+		frame := f.ToStream()
+		endT := frame.Start
+		if frame.Rate > 0 && len(frame.Samples) > 0 {
+			endT += float64(len(frame.Samples[0])) / frame.Rate
+		}
+		events = append(events, event{
+			t:   endT, // a frame exists once its last sample is captured
+			msg: mavbus.Message{Topic: stream.TopicAudio, Time: endT, Payload: frame},
+		})
+	}
+	for _, sample := range req.IMU {
+		imu := sample.ToStream()
+		events = append(events, event{
+			t:   imu.Time,
+			msg: mavbus.Message{Topic: stream.TopicIMU, Time: imu.Time, Payload: imu},
+		})
+	}
+	for _, sample := range req.GPS {
+		gps := sample.ToStream()
+		events = append(events, event{
+			t:   gps.Time,
+			msg: mavbus.Message{Topic: stream.TopicGPS, Time: gps.Time, Payload: gps},
+		})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].t < events[j].t })
+	for i, ev := range events {
+		if err := s.bus.Publish(ev.msg); err != nil {
+			return i, err
+		}
+	}
+	return len(events), nil
+}
+
+// stateNow returns the current lifecycle state.
+func (s *session) stateNow() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// createSession builds, registers, and starts a session. It enforces the
+// table bound: when full, the least-recently-touched finished session is
+// evicted; if every slot holds a live session the request is shed with
+// ErrCapacity (HTTP 429).
+func (s *Server) createSession(req api.SessionRequest) (*session, error) {
+	opts := []stream.Option{
+		stream.WithFlightName(req.Flight),
+		stream.WithBuffer(s.cfg.SessionBuffer),
+	}
+	if req.Buffer > 0 {
+		opts = append(opts, stream.WithBuffer(req.Buffer))
+	}
+	if req.LagHorizonSeconds > 0 {
+		opts = append(opts, stream.WithLagHorizon(req.LagHorizonSeconds))
+	}
+	if req.GapFill {
+		opts = append(opts, stream.WithGapFill(true))
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, errShuttingDown
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions && !s.evictLocked() {
+		sessionsRejected.Inc()
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d live sessions (cap %d)",
+			faults.ErrCapacity, len(s.sessions), s.cfg.MaxSessions)
+	}
+	s.nextID++
+	id := fmt.Sprintf("s-%08d", s.nextID)
+	s.mu.Unlock()
+
+	// Engine construction validates the sample rate against the
+	// calibrated model outside the table lock (it allocates filters).
+	eng, err := stream.New(s.an, req.SampleRateHz, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", faults.ErrUnprocessable, err)
+	}
+	bus := mavbus.NewBus(0)
+	if err := eng.Attach(bus); err != nil {
+		return nil, err
+	}
+	now := s.now()
+	sess := &session{
+		id:        id,
+		flight:    req.Flight,
+		bus:       bus,
+		eng:       eng,
+		created:   now,
+		lastTouch: now,
+		state:     api.SessionOpen,
+		done:      make(chan struct{}),
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		bus.Close()
+		return nil, errShuttingDown
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions && !s.evictLocked() {
+		sessionsRejected.Inc()
+		n := len(s.sessions)
+		s.mu.Unlock()
+		bus.Close()
+		return nil, fmt.Errorf("%w: %d live sessions (cap %d)", faults.ErrCapacity, n, s.cfg.MaxSessions)
+	}
+	s.sessions[id] = sess
+	sessionsActive.Set(float64(len(s.sessions)))
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	sessionsOpened.Inc()
+	go func() {
+		defer s.wg.Done()
+		sess.run()
+	}()
+	s.logf("session %s opened (flight %q, %g Hz)", id, req.Flight, req.SampleRateHz)
+	return sess, nil
+}
+
+// evictLocked removes the least-recently-touched finished session to
+// make room; it reports false when every session is still live. Caller
+// holds s.mu.
+func (s *Server) evictLocked() bool {
+	var victim *session
+	for _, sess := range s.sessions {
+		if sess.stateNow() != api.SessionDone {
+			continue
+		}
+		if victim == nil || sess.lastTouchLocked().Before(victim.lastTouchLocked()) {
+			victim = sess
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	delete(s.sessions, victim.id)
+	sessionsActive.Set(float64(len(s.sessions)))
+	sessionsEvicted.Inc()
+	s.logf("session %s evicted (LRU, table full)", victim.id)
+	return true
+}
+
+// lastTouchLocked reads the idle clock under the session lock.
+func (s *session) lastTouchLocked() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastTouch
+}
+
+// lookup resolves a session id.
+func (s *Server) lookup(id string) (*session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", faults.ErrSessionNotFound, id)
+	}
+	return sess, nil
+}
+
+// janitor sweeps open sessions against the idle timeout and hard
+// deadline until stop closes.
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	t := time.NewTicker(s.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-t.C:
+		}
+		now := s.now()
+		s.mu.Lock()
+		open := make([]*session, 0, len(s.sessions))
+		for _, sess := range s.sessions {
+			open = append(open, sess)
+		}
+		s.mu.Unlock()
+		for _, sess := range open {
+			sess.mu.Lock()
+			state := sess.state
+			idle := now.Sub(sess.lastTouch)
+			age := now.Sub(sess.created)
+			sess.mu.Unlock()
+			if state != api.SessionOpen {
+				continue
+			}
+			switch {
+			case age > s.cfg.MaxSessionAge:
+				if sess.closeStream() {
+					sessionsDeadline.Inc()
+					s.logf("session %s closed: hard deadline (%s)", sess.id, s.cfg.MaxSessionAge)
+				}
+			case idle > s.cfg.IdleTimeout:
+				if sess.closeStream() {
+					sessionsExpired.Inc()
+					s.logf("session %s closed: idle for %s", sess.id, idle.Round(time.Millisecond))
+				}
+			}
+		}
+	}
+}

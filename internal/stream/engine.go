@@ -9,6 +9,7 @@ import (
 	"soundboost/internal/acoustics"
 	soundboost "soundboost/internal/core"
 	"soundboost/internal/dsp"
+	"soundboost/internal/faults"
 	"soundboost/internal/kalman"
 	"soundboost/internal/mathx"
 	"soundboost/internal/mavbus"
@@ -110,9 +111,36 @@ type Engine struct {
 	status Status
 }
 
-// NewEngine builds an engine around a calibrated analyzer for streams at
-// the given audio sample rate.
+// ErrNotAttached is returned by Run when the engine was never attached
+// to a bus. It aliases faults.ErrEngineDetached, the repository-wide
+// error set, so errors.Is matches under either name.
+var ErrNotAttached = faults.ErrEngineDetached
+
+// New builds an engine around a calibrated analyzer for streams at the
+// given audio sample rate, configured by functional options:
+//
+//	eng, err := stream.New(analyzer, rate,
+//		stream.WithBuffer(1<<14),
+//		stream.WithLagHorizon(5),
+//		stream.WithFlightName("incident-17"))
+func New(an *soundboost.Analyzer, sampleRate float64, opts ...Option) (*Engine, error) {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return newEngine(an, sampleRate, cfg)
+}
+
+// NewEngine builds an engine from a literal Config.
+//
+// Deprecated: use New with functional options (WithBuffer,
+// WithLagHorizon, WithTopics, WithGapFill, WithFlightName). NewEngine
+// remains as a thin wrapper so existing call sites keep compiling.
 func NewEngine(an *soundboost.Analyzer, sampleRate float64, cfg Config) (*Engine, error) {
+	return newEngine(an, sampleRate, cfg)
+}
+
+func newEngine(an *soundboost.Analyzer, sampleRate float64, cfg Config) (*Engine, error) {
 	if an == nil || an.Model == nil || an.IMU == nil || an.GPSAudioOnly == nil || an.GPSAudioIMU == nil {
 		return nil, fmt.Errorf("stream: nil or incomplete analyzer")
 	}
@@ -173,7 +201,7 @@ func (e *Engine) Attach(bus *mavbus.Bus) error {
 // still returns the best-effort report alongside ctx.Err().
 func (e *Engine) Run(ctx context.Context) (soundboost.Report, error) {
 	if e.subAudio == nil || e.subIMU == nil || e.subGPS == nil {
-		return soundboost.Report{}, fmt.Errorf("stream: engine not attached to a bus")
+		return soundboost.Report{}, ErrNotAttached
 	}
 	audioC, imuC, gpsC := e.subAudio.C, e.subIMU.C, e.subGPS.C
 	for audioC != nil || imuC != nil || gpsC != nil {
@@ -266,6 +294,25 @@ func (e *Engine) cancelSubs() {
 	e.subAudio.Cancel()
 	e.subIMU.Cancel()
 	e.subGPS.Cancel()
+}
+
+// Close detaches the engine from its bus by cancelling its
+// subscriptions. A concurrent Run drains what is already queued, flushes
+// the remaining ready windows, and returns its final report — this is
+// how an owner (a server session, a supervisor) ends a stream without
+// closing a bus other consumers may share. Close is idempotent and a
+// no-op on a never-attached engine; Attach must have completed
+// (happened-before) for Close to observe the subscriptions.
+func (e *Engine) Close() {
+	if e.subAudio != nil {
+		e.subAudio.Cancel()
+	}
+	if e.subIMU != nil {
+		e.subIMU.Cancel()
+	}
+	if e.subGPS != nil {
+		e.subGPS.Cancel()
+	}
 }
 
 // Status returns a snapshot of the engine state for live display. It is
