@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json cover verify staticcheck fmt live-smoke serve-smoke
+.PHONY: build test race bench bench-json cover verify verify-short staticcheck fmt live-smoke serve-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -38,9 +38,13 @@ staticcheck:
 	fi
 
 # Full gate: gofmt -l (fails on output), go vet, staticcheck (enforced
-# in CI), build, race-enabled uncached tests.
+# in CI), build, race-enabled uncached tests, and the seeded chaos soak.
+# verify-short skips the soak (fast edit loop; what CI's verify job runs).
 verify:
 	sh scripts/verify.sh
+
+verify-short:
+	sh scripts/verify.sh -short
 
 # live-smoke exercises the streaming pipeline end to end with the CLI:
 # flightgen corpus -> train -> calibrate -> `soundboost live` replay of a
@@ -54,6 +58,14 @@ live-smoke:
 # chunked streaming session — all three verdicts must be identical.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# chaos-smoke soaks the service under deterministic fault injection and
+# exercises the crash-safe session journal: `soundboost chaos -seed 42`
+# twice (byte-identical output required), then a SIGKILL + restart of
+# `soundboost serve -journal` that the streaming client must ride
+# through without losing an acknowledged chunk.
+chaos-smoke:
+	sh scripts/chaos_smoke.sh
 
 fmt:
 	gofmt -w .

@@ -47,6 +47,11 @@ const (
 	SessionDraining = "draining"
 	// SessionDone holds a final report until evicted.
 	SessionDone = "done"
+	// SessionFailed is terminal: the session's engine goroutine panicked
+	// or errored fatally. The failure is isolated to this session — the
+	// recorded cause is available in SessionStatus.FailCause and from
+	// GET .../report — and every other session is unaffected.
+	SessionFailed = "failed"
 )
 
 // Error codes carried by Error.Code, the machine-readable counterpart
@@ -60,6 +65,8 @@ const (
 	CodeInternal         = "internal"           // 500: server-side failure
 	CodeShuttingDown     = "shutting_down"      // 503: server is draining
 	CodeMethodNotAllowed = "method_not_allowed" // 405: wrong method on a known route
+	CodeSessionFailed    = "session_failed"     // 500: the session's engine died; cause recorded
+	CodeTimeout          = "timeout"            // 503: analysis exceeded its deadline and was shed
 )
 
 // Error is the body of every non-2xx response.
@@ -200,6 +207,14 @@ type GPSSample struct {
 // be time-ordered across requests (the engine sheds regressions); the
 // three streams are merged by timestamp before publication.
 type FramesRequest struct {
+	// Seq is the request's 1-based position in the session's chunk
+	// stream, used for idempotent resend: a request whose Seq the server
+	// has already accepted is acknowledged without re-publishing
+	// (FramesResponse.Duplicate), so a client that lost an ack can
+	// safely retry; a Seq that skips ahead is rejected with 409. Seq 0
+	// opts out of idempotency (and of journal-backed session resume).
+	Seq int `json:"seq,omitempty"`
+
 	Audio []AudioFrame `json:"audio,omitempty"`
 	IMU   []IMUSample  `json:"imu,omitempty"`
 	GPS   []GPSSample  `json:"gps,omitempty"`
@@ -218,6 +233,10 @@ type FramesResponse struct {
 	// engine and the verdict may no longer match a batch run.
 	Shed  int    `json:"shed"`
 	State string `json:"state"`
+	// Duplicate reports that the request's Seq was already accepted and
+	// nothing was re-published — the expected outcome of an idempotent
+	// resend after a lost ack.
+	Duplicate bool `json:"duplicate,omitempty"`
 }
 
 // EngineStatus is the live engine snapshot inside SessionStatus.
@@ -249,6 +268,14 @@ type SessionStatus struct {
 	AgeSeconds  float64 `json:"age_seconds"`
 	IdleSeconds float64 `json:"idle_seconds"`
 	// Shed counts bus messages dropped by backpressure so far.
-	Shed   int          `json:"shed"`
-	Engine EngineStatus `json:"engine"`
+	Shed int `json:"shed"`
+	// LastSeq is the highest frames-request sequence number accepted so
+	// far (0 when the client is not using sequence numbers). A client
+	// resuming an interrupted upload — including against a restarted
+	// server that recovered the session from its journal — reads this to
+	// learn where to continue.
+	LastSeq int `json:"last_seq"`
+	// FailCause records why a failed session died (state "failed" only).
+	FailCause string       `json:"fail_cause,omitempty"`
+	Engine    EngineStatus `json:"engine"`
 }

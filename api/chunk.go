@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"soundboost/internal/dataset"
+	"soundboost/internal/faults"
 	"soundboost/internal/stream"
 )
 
@@ -17,11 +18,16 @@ import (
 // timestamp kept in one request so the server-side merge preserves the
 // replay ordering. The final request has Close set.
 //
-// frameSeconds <= 0 selects the 50 ms default; chunkSeconds <= 0 packs
-// the whole flight into a single request.
+// frameSeconds <= 0 selects the 50 ms default. chunkSeconds must be
+// positive (faults.ErrBadChunk otherwise) — callers wanting the whole
+// flight in one request pass a chunk size covering its full duration. A
+// nil or empty flight yields faults.ErrNoFlight.
 func ChunkFlight(f *dataset.Flight, frameSeconds, chunkSeconds float64) ([]FramesRequest, error) {
 	if f == nil || f.Audio == nil || f.Audio.Samples() == 0 {
-		return nil, fmt.Errorf("api: nothing to chunk")
+		return nil, fmt.Errorf("api: nothing to chunk: %w", faults.ErrNoFlight)
+	}
+	if chunkSeconds <= 0 {
+		return nil, fmt.Errorf("%w: got %v", faults.ErrBadChunk, chunkSeconds)
 	}
 	if frameSeconds <= 0 {
 		frameSeconds = 0.05
@@ -36,10 +42,7 @@ func ChunkFlight(f *dataset.Flight, frameSeconds, chunkSeconds float64) ([]Frame
 	if n := len(f.Telemetry); n > 0 && f.Telemetry[n-1].Time > duration {
 		duration = f.Telemetry[n-1].Time
 	}
-	nChunks := 1
-	if chunkSeconds > 0 {
-		nChunks = int(duration/chunkSeconds) + 1
-	}
+	nChunks := int(duration/chunkSeconds) + 1
 	sliceAt := func(tm float64) int {
 		i := int(tm / (duration + 1e-9) * float64(nChunks))
 		if i < 0 {
@@ -88,6 +91,12 @@ func ChunkFlight(f *dataset.Flight, frameSeconds, chunkSeconds float64) ([]Frame
 	reqs = dense
 	if !sort.SliceIsSorted(reqs, func(i, j int) bool { return firstTime(reqs[i]) < firstTime(reqs[j]) }) {
 		return nil, fmt.Errorf("api: chunking produced out-of-order requests")
+	}
+	// Sequence numbers make the upload idempotent: a resent chunk is
+	// acknowledged, not re-published, and a journal-recovered session
+	// knows exactly which prefix it already holds.
+	for i := range reqs {
+		reqs[i].Seq = i + 1
 	}
 	reqs[len(reqs)-1].Close = true
 	return reqs, nil

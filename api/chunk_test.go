@@ -1,0 +1,72 @@
+package api
+
+import (
+	"errors"
+	"testing"
+
+	"soundboost/internal/acoustics"
+	"soundboost/internal/dataset"
+	"soundboost/internal/faults"
+)
+
+// tinyFlight builds the smallest flight worth chunking: one second of
+// audio plus a few telemetry rows.
+func tinyFlight() *dataset.Flight {
+	rec := &acoustics.Recording{SampleRate: 100}
+	for m := range rec.Channels {
+		rec.Channels[m] = make([]float64, 100)
+	}
+	f := &dataset.Flight{Name: "tiny", Audio: rec}
+	for i := 0; i < 10; i++ {
+		f.Telemetry = append(f.Telemetry, dataset.TelemetrySample{Time: float64(i) * 0.1})
+	}
+	return f
+}
+
+// TestChunkFlightTypedErrors pins the error contract: callers must be
+// able to distinguish "nothing to chunk" from "bad chunk size" with
+// errors.Is, not string matching.
+func TestChunkFlightTypedErrors(t *testing.T) {
+	if _, err := ChunkFlight(nil, 0.05, 1); !errors.Is(err, faults.ErrNoFlight) {
+		t.Errorf("nil flight: err = %v, want ErrNoFlight", err)
+	}
+	empty := &dataset.Flight{Audio: &acoustics.Recording{SampleRate: 100}}
+	if _, err := ChunkFlight(empty, 0.05, 1); !errors.Is(err, faults.ErrNoFlight) {
+		t.Errorf("empty flight: err = %v, want ErrNoFlight", err)
+	}
+	f := tinyFlight()
+	for _, bad := range []float64{0, -1} {
+		if _, err := ChunkFlight(f, 0.05, bad); !errors.Is(err, faults.ErrBadChunk) {
+			t.Errorf("chunkSeconds = %v: err = %v, want ErrBadChunk", bad, err)
+		}
+	}
+}
+
+// TestChunkFlightSequenceNumbers requires chunks to carry contiguous
+// 1-based sequence numbers with Close on the last — the contract the
+// server's idempotent-resend path depends on.
+func TestChunkFlightSequenceNumbers(t *testing.T) {
+	reqs, err := ChunkFlight(tinyFlight(), 0.05, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) < 2 {
+		t.Fatalf("want multiple chunks, got %d", len(reqs))
+	}
+	for i, r := range reqs {
+		if r.Seq != i+1 {
+			t.Errorf("chunk %d: seq = %d, want %d", i, r.Seq, i+1)
+		}
+		if got, want := r.Close, i == len(reqs)-1; got != want {
+			t.Errorf("chunk %d: close = %v, want %v", i, got, want)
+		}
+	}
+	// A whole-flight chunk still gets seq 1 + Close.
+	one, err := ChunkFlight(tinyFlight(), 0.05, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0].Seq != 1 || !one[0].Close {
+		t.Fatalf("whole-flight chunking: %d chunk(s), seq %d, close %v", len(one), one[0].Seq, one[0].Close)
+	}
+}

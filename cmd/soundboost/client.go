@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"soundboost/api"
+)
+
+// retryClient is the CLI's fault-tolerant HTTP client: requests are
+// retried with exponential backoff and seeded jitter on transport errors
+// and on retryable statuses (429 and the gateway-ish 502/503/504), a
+// server-supplied Retry-After overrides the computed backoff, and bodies
+// are held as []byte so every resend is byte-identical. A plain 500 is
+// never retried — the server uses it for permanent outcomes
+// (session_failed), where a retry can only waste the budget.
+//
+// Retrying a frames post is safe because chunks carry sequence numbers:
+// a resend whose original ack was lost comes back Duplicate, not
+// double-published.
+type retryClient struct {
+	hc      *http.Client
+	retries int
+	base    time.Duration
+	max     time.Duration
+	rng     *rand.Rand
+	sleep   func(time.Duration)
+	logf    func(format string, a ...any)
+}
+
+// newRetryClient builds a client retrying up to retries times with
+// backoff starting at base (jittered, capped at 30×base). seed makes the
+// jitter sequence reproducible for the chaos soak.
+func newRetryClient(hc *http.Client, retries int, base time.Duration, seed int64) *retryClient {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	if base <= 0 {
+		base = 200 * time.Millisecond
+	}
+	return &retryClient{
+		hc:      hc,
+		retries: retries,
+		base:    base,
+		max:     30 * base,
+		rng:     rand.New(rand.NewSource(seed)),
+		sleep:   time.Sleep,
+		logf:    func(string, ...any) {},
+	}
+}
+
+// retryableStatus reports whether a status is worth retrying.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// do round-trips one JSON request with retries. body may be nil; out may
+// be nil to discard the response.
+func (c *retryClient) do(method, url string, body []byte, out any) error {
+	for attempt := 0; ; attempt++ {
+		retryAfter, err := c.attempt(method, url, body, out)
+		if err == nil {
+			return nil
+		}
+		if retryAfter < 0 || attempt >= c.retries {
+			if attempt > 0 {
+				return fmt.Errorf("%w (after %d attempts)", err, attempt+1)
+			}
+			return err
+		}
+		delay := c.backoff(attempt)
+		if retryAfter > 0 {
+			delay = retryAfter
+		}
+		c.logf("retry %d/%d for %s %s in %s: %v", attempt+1, c.retries, method, url, delay, err)
+		c.sleep(delay)
+	}
+}
+
+// attempt performs one round trip. The returned duration encodes the
+// retry decision: -1 permanent failure, 0 retryable with computed
+// backoff, >0 retryable honoring the server's Retry-After.
+func (c *retryClient) attempt(method, url string, body []byte, out any) (time.Duration, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return -1, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err // transport failure: connection reset, refused, dropped response
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, fmt.Errorf("%s: reading response: %w", url, err)
+	}
+	if resp.StatusCode/100 == 2 {
+		if out == nil {
+			return -1, nil
+		}
+		if err := json.Unmarshal(raw, out); err != nil {
+			return -1, fmt.Errorf("%s: %w", url, err)
+		}
+		return -1, nil
+	}
+	apiErr := api.Error{Code: fmt.Sprintf("http_%d", resp.StatusCode), Error: string(raw)}
+	var decoded api.Error
+	if json.Unmarshal(raw, &decoded) == nil && decoded.Error != "" {
+		apiErr = decoded
+	}
+	err = fmt.Errorf("%s: %s (%s)", url, apiErr.Error, apiErr.Code)
+	if !retryableStatus(resp.StatusCode) {
+		return -1, err
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, perr := strconv.Atoi(s); perr == nil && secs > 0 {
+			return time.Duration(secs) * time.Second, err
+		}
+	}
+	return 0, err
+}
+
+// backoff computes the jittered exponential delay for one attempt:
+// half the window deterministic, half uniform random, capped at max.
+func (c *retryClient) backoff(attempt int) time.Duration {
+	d := c.base << uint(attempt)
+	if d > c.max || d <= 0 {
+		d = c.max
+	}
+	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+}

@@ -28,6 +28,15 @@
 //	soundboost push -addr http://127.0.0.1:8713 -flight incident.sbf -mode batch
 //	soundboost push -addr http://127.0.0.1:8713 -flight incident.sbf -mode session
 //
+// Soak the whole service under deterministic fault injection — message
+// drops, duplication, reordering, NaN/bit-flip corruption, clock skew,
+// mid-flight cutoff, an engine-killing poison pill and a hostile HTTP
+// transport — asserting that every fault is accounted for in the
+// metrics, that verdicts are reproducible from the seed, and that no
+// goroutine leaks:
+//
+//	soundboost chaos -analyzer analyzer.json -flight incident.sbf -seed 42
+//
 // Every subcommand accepts -debug-addr to enable the observability
 // layer and serve live pipeline metrics (/debug/metrics) and pprof
 // (/debug/pprof/) while it runs:
@@ -61,7 +70,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: soundboost <train|calibrate|rca|live|serve|push> [flags]")
+		return fmt.Errorf("usage: soundboost <train|calibrate|rca|live|serve|push|chaos> [flags]")
 	}
 	switch args[0] {
 	case "train":
@@ -76,8 +85,10 @@ func run(args []string) error {
 		return runServe(args[1:])
 	case "push":
 		return runPush(args[1:])
+	case "chaos":
+		return runChaos(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want train, calibrate, rca, live, serve or push)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want train, calibrate, rca, live, serve, push or chaos)", args[0])
 	}
 }
 

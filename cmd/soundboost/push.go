@@ -1,14 +1,12 @@
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"soundboost/api"
 	"soundboost/internal/dataset"
@@ -19,6 +17,15 @@ import (
 // chunked through a streaming session — and prints the returned verdict
 // in exactly the format of `soundboost rca`, so the two outputs diff
 // clean when the service is healthy. Progress goes to stderr.
+//
+// The client is fault-tolerant by default: transient failures
+// (connection resets, 429 backpressure, 5xx) are retried with
+// exponential backoff, and because session chunks carry sequence
+// numbers, a chunk resent after a lost ack is acknowledged as a
+// duplicate rather than double-published. Against a `serve -journal`
+// server this rides through a kill-and-restart mid-upload: the retry
+// budget spans the restart, the recovered session still holds every
+// acknowledged chunk, and the upload resumes where it left off.
 func runPush(args []string) error {
 	fs := flag.NewFlagSet("push", flag.ContinueOnError)
 	var (
@@ -28,6 +35,8 @@ func runPush(args []string) error {
 		frameSec   = fs.Float64("frame", 0.05, "audio frame length in seconds (session mode)")
 		chunkSec   = fs.Float64("chunk", 2, "flight seconds per frames request (session mode, 0 = single request)")
 		buffer     = fs.Int("buffer", 1<<15, "server-side per-topic buffer depth (session mode)")
+		retries    = fs.Int("retries", 8, "max retries per request for transient failures")
+		retryBase  = fs.Duration("retry-base", 200*time.Millisecond, "initial retry backoff (doubles per attempt, jittered)")
 	)
 	rt := addRuntimeFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -44,13 +53,15 @@ func runPush(args []string) error {
 		return err
 	}
 	base := strings.TrimRight(*addr, "/")
+	client := newRetryClient(nil, *retries, *retryBase, time.Now().UnixNano())
+	client.logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
 
 	var wire api.Report
 	switch *mode {
 	case "batch":
-		wire, err = pushBatch(base, *flightPath)
+		wire, err = pushBatch(client, base, *flightPath)
 	case "session":
-		wire, err = pushSession(base, flight, *frameSec, *chunkSec, *buffer)
+		wire, err = pushSession(client, base, flight, *frameSec, *chunkSec, *buffer)
 	default:
 		return fmt.Errorf("unknown -mode %q (want batch or session)", *mode)
 	}
@@ -69,76 +80,33 @@ func runPush(args []string) error {
 	return nil
 }
 
-// postJSON round-trips one JSON request against the service.
-func postJSON(method, url string, body io.Reader, out any) error {
-	req, err := http.NewRequest(method, url, body)
-	if err != nil {
-		return err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode/100 != 2 {
-		var apiErr api.Error
-		if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("%s: %s (%s)", url, apiErr.Error, apiErr.Code)
-		}
-		return fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, raw)
-	}
-	if out == nil {
-		return nil
-	}
-	return json.Unmarshal(raw, out)
-}
-
-// pushBatch uploads the raw .sbf file for one-shot batch RCA.
-func pushBatch(base, path string) (api.Report, error) {
-	f, err := os.Open(path)
+// pushBatch uploads the raw .sbf file for one-shot batch RCA. The file
+// is read into memory so a retried upload resends identical bytes.
+func pushBatch(client *retryClient, base, path string) (api.Report, error) {
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		return api.Report{}, err
-	}
-	defer f.Close()
-	req, err := http.NewRequest("POST", base+"/v1/flights", f)
-	if err != nil {
-		return api.Report{}, err
-	}
-	req.Header.Set("Content-Type", "application/octet-stream")
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return api.Report{}, err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return api.Report{}, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		var apiErr api.Error
-		if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
-			return api.Report{}, fmt.Errorf("upload: %s (%s)", apiErr.Error, apiErr.Code)
-		}
-		return api.Report{}, fmt.Errorf("upload: HTTP %d: %s", resp.StatusCode, raw)
 	}
 	var out api.FlightResponse
-	if err := json.Unmarshal(raw, &out); err != nil {
+	if err := client.do("POST", base+"/v1/flights", raw, &out); err != nil {
 		return api.Report{}, err
 	}
 	fmt.Fprintf(os.Stderr, "batch analysis took %.2f s server-side\n", out.ElapsedSeconds)
 	return out.Report, nil
 }
 
-// pushSession streams the flight through a session: create, feed frame
-// batches, read the final report.
-func pushSession(base string, flight *dataset.Flight, frameSec, chunkSec float64, buffer int) (api.Report, error) {
+// flightDuration is the flight's end time across audio and telemetry.
+func flightDuration(f *dataset.Flight) float64 {
+	d := float64(f.Audio.Samples()) / f.Audio.SampleRate
+	if n := len(f.Telemetry); n > 0 && f.Telemetry[n-1].Time > d {
+		d = f.Telemetry[n-1].Time
+	}
+	return d
+}
+
+// pushSession streams the flight through a session: create, feed
+// sequence-numbered frame batches, read the final report.
+func pushSession(client *retryClient, base string, flight *dataset.Flight, frameSec, chunkSec float64, buffer int) (api.Report, error) {
 	var created api.SessionResponse
 	body, err := json.Marshal(api.SessionRequest{
 		Flight:       flight.Name,
@@ -148,34 +116,45 @@ func pushSession(base string, flight *dataset.Flight, frameSec, chunkSec float64
 	if err != nil {
 		return api.Report{}, err
 	}
-	if err := postJSON("POST", base+"/v1/sessions", bytes.NewReader(body), &created); err != nil {
+	if err := client.do("POST", base+"/v1/sessions", body, &created); err != nil {
 		return api.Report{}, err
 	}
 	fmt.Fprintf(os.Stderr, "session %s open\n", created.ID)
 
+	if chunkSec <= 0 {
+		// "Single request" is spelled as a chunk covering the whole flight;
+		// ChunkFlight itself rejects non-positive sizes.
+		chunkSec = flightDuration(flight) + 1
+	}
 	reqs, err := api.ChunkFlight(flight, frameSec, chunkSec)
 	if err != nil {
 		return api.Report{}, err
 	}
 	sessURL := base + "/v1/sessions/" + created.ID
-	total := 0
+	total, dups := 0, 0
 	for i, r := range reqs {
 		raw, err := json.Marshal(r)
 		if err != nil {
 			return api.Report{}, err
 		}
 		var resp api.FramesResponse
-		if err := postJSON("POST", sessURL+"/frames", bytes.NewReader(raw), &resp); err != nil {
+		if err := client.do("POST", sessURL+"/frames", raw, &resp); err != nil {
 			return api.Report{}, fmt.Errorf("frames %d/%d: %w", i+1, len(reqs), err)
 		}
 		total += resp.Accepted
+		if resp.Duplicate {
+			dups++
+		}
 		if resp.Shed > 0 {
 			fmt.Fprintf(os.Stderr, "warning: server shed %d messages; verdict may diverge from batch\n", resp.Shed)
 		}
 	}
+	if dups > 0 {
+		fmt.Fprintf(os.Stderr, "%d chunk(s) acknowledged as duplicates (idempotent resend)\n", dups)
+	}
 	fmt.Fprintf(os.Stderr, "streamed %d messages in %d requests; waiting for verdict\n", total, len(reqs))
 	var report api.Report
-	if err := postJSON("GET", sessURL+"/report", nil, &report); err != nil {
+	if err := client.do("GET", sessURL+"/report", nil, &report); err != nil {
 		return api.Report{}, err
 	}
 	return report, nil

@@ -28,6 +28,8 @@ func runServe(args []string) error {
 		idle        = fs.Duration("idle-timeout", 0, "close sessions idle this long (0 = default 60s)")
 		maxAge      = fs.Duration("max-age", 0, "hard per-session deadline (0 = default 15m)")
 		drainWait   = fs.Duration("drain", 30*time.Second, "graceful-drain budget on shutdown")
+		journalDir  = fs.String("journal", "", "session journal directory; enables crash-safe recovery (empty = off)")
+		batchWait   = fs.Duration("batch-timeout", 0, "per-request batch analysis deadline (0 = default 2m)")
 	)
 	af := addAnalyzerFlags(fs)
 	rt := addRuntimeFlags(fs)
@@ -46,6 +48,8 @@ func runServe(args []string) error {
 		MaxJobs:       *maxJobs,
 		IdleTimeout:   *idle,
 		MaxSessionAge: *maxAge,
+		JournalDir:    *journalDir,
+		BatchTimeout:  *batchWait,
 		Logf:          func(format string, a ...any) { fmt.Printf(format+"\n", a...) },
 	})
 	if err != nil {

@@ -1,0 +1,225 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"soundboost/internal/obs"
+)
+
+// HTTP-plane fault kinds (Transport).
+const (
+	// KindHTTPReset fails the request before it reaches the server — a
+	// connection reset on send. The server never sees the request.
+	KindHTTPReset Kind = "http_reset"
+	// KindHTTPDropResponse lets the request through, then discards the
+	// response — the ack-lost case that makes idempotent chunk resend
+	// (FramesRequest.Seq) necessary.
+	KindHTTPDropResponse Kind = "http_drop_response"
+	// KindHTTP5xx short-circuits the request with a synthesized 503 +
+	// Retry-After, never reaching the server.
+	KindHTTP5xx Kind = "http_5xx"
+	// KindHTTPSlow delivers the response body in dribbled chunks with a
+	// sleep between each — a slow-loris server.
+	KindHTTPSlow Kind = "http_slow"
+	// KindHTTPLatency sleeps before forwarding the request.
+	KindHTTPLatency Kind = "http_latency"
+)
+
+// HTTPKinds lists the HTTP-plane fault kinds in stable order.
+var HTTPKinds = []Kind{KindHTTPReset, KindHTTPDropResponse, KindHTTP5xx, KindHTTPSlow, KindHTTPLatency}
+
+var httpInjected = func() map[Kind]*obs.Counter {
+	m := make(map[Kind]*obs.Counter, len(HTTPKinds))
+	for _, k := range HTTPKinds {
+		m[k] = obs.Default.Counter("chaos.injected." + string(k))
+	}
+	return m
+}()
+
+// ErrInjectedReset is the transport error surfaced for injected
+// connection resets; clients match it with errors.Is to distinguish
+// injected faults from real network failures in test assertions.
+var ErrInjectedReset = errors.New("chaos: injected connection reset")
+
+// HTTPConfig is one seeded schedule of client-transport faults. All
+// rates are per request, in [0, 1].
+type HTTPConfig struct {
+	Seed int64
+	// ResetRate fails the request with ErrInjectedReset before sending.
+	ResetRate float64
+	// DropResponseRate forwards the request but discards the response,
+	// surfacing ErrInjectedReset — the server did the work, the client
+	// never learns.
+	DropResponseRate float64
+	// Error5xxRate synthesizes a 503 with Retry-After: RetryAfterSeconds.
+	Error5xxRate      float64
+	RetryAfterSeconds int
+	// SlowRate dribbles the response body SlowChunkBytes at a time with
+	// SlowDelay between chunks (defaults 64 bytes / 1 ms).
+	SlowRate       float64
+	SlowChunkBytes int
+	SlowDelay      time.Duration
+	// LatencyRate / Latency sleep before forwarding.
+	LatencyRate float64
+	Latency     time.Duration
+	// Sleep is injectable for fast soaks (nil = time.Sleep).
+	Sleep func(time.Duration)
+}
+
+// Transport wraps an http.RoundTripper with the fault schedule. Like the
+// Injector, decisions come from one seeded PRNG in request order, so a
+// client issuing requests sequentially sees a reproducible fault
+// sequence.
+type Transport struct {
+	base http.RoundTripper
+	cfg  HTTPConfig
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	counts map[Kind]int64
+}
+
+// NewTransport wraps base (nil = http.DefaultTransport) with the
+// schedule in cfg.
+func NewTransport(base http.RoundTripper, cfg HTTPConfig) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if cfg.RetryAfterSeconds <= 0 {
+		cfg.RetryAfterSeconds = 1
+	}
+	if cfg.SlowChunkBytes <= 0 {
+		cfg.SlowChunkBytes = 64
+	}
+	if cfg.SlowDelay <= 0 {
+		cfg.SlowDelay = time.Millisecond
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	return &Transport{
+		base:   base,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		counts: make(map[Kind]int64),
+	}
+}
+
+// Counts returns an exact snapshot of the HTTP faults injected so far.
+func (t *Transport) Counts() map[Kind]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[Kind]int64, len(t.counts))
+	for k, v := range t.counts {
+		out[k] = v
+	}
+	return out
+}
+
+func (t *Transport) count(k Kind) {
+	t.counts[k]++
+	httpInjected[k].Inc()
+}
+
+func (t *Transport) hit(rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	return t.rng.Float64() < rate
+}
+
+// RoundTrip implements http.RoundTripper. Faults are decided in a fixed
+// order — reset, 5xx, latency, forward, drop-response, slow-loris — with
+// at most one terminal fault per request.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	if t.hit(t.cfg.ResetRate) {
+		t.count(KindHTTPReset)
+		t.mu.Unlock()
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("%w: %s %s", ErrInjectedReset, req.Method, req.URL.Path)
+	}
+	if t.hit(t.cfg.Error5xxRate) {
+		t.count(KindHTTP5xx)
+		retryAfter := t.cfg.RetryAfterSeconds
+		t.mu.Unlock()
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		resp := &http.Response{
+			StatusCode: http.StatusServiceUnavailable,
+			Status:     "503 Service Unavailable (chaos)",
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{"Retry-After": []string{strconv.Itoa(retryAfter)}},
+			Body:    io.NopCloser(bytes.NewReader(nil)),
+			Request: req,
+		}
+		return resp, nil
+	}
+	var delay time.Duration
+	if t.hit(t.cfg.LatencyRate) && t.cfg.Latency > 0 {
+		t.count(KindHTTPLatency)
+		delay = t.cfg.Latency
+	}
+	dropResponse := t.hit(t.cfg.DropResponseRate)
+	slow := !dropResponse && t.hit(t.cfg.SlowRate)
+	if dropResponse {
+		t.count(KindHTTPDropResponse)
+	}
+	if slow {
+		t.count(KindHTTPSlow)
+	}
+	sleep := t.cfg.Sleep
+	t.mu.Unlock()
+
+	if delay > 0 {
+		sleep(delay)
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if dropResponse {
+		// The server processed the request; the client never hears back.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w: response dropped for %s %s", ErrInjectedReset, req.Method, req.URL.Path)
+	}
+	if slow {
+		resp.Body = &slowBody{r: resp.Body, chunk: t.cfg.SlowChunkBytes, delay: t.cfg.SlowDelay, sleep: sleep}
+	}
+	return resp, nil
+}
+
+// slowBody dribbles reads chunk bytes at a time with a sleep between —
+// the receive side of a slow-loris peer.
+type slowBody struct {
+	r     io.ReadCloser
+	chunk int
+	delay time.Duration
+	sleep func(time.Duration)
+	first bool
+}
+
+func (s *slowBody) Read(p []byte) (int, error) {
+	if s.first {
+		s.sleep(s.delay)
+	}
+	s.first = true
+	if len(p) > s.chunk {
+		p = p[:s.chunk]
+	}
+	return s.r.Read(p)
+}
+
+func (s *slowBody) Close() error { return s.r.Close() }

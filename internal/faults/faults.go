@@ -56,4 +56,30 @@ var (
 	// not decode into a usable flight or frame set. HTTP: 422
 	// Unprocessable Entity.
 	ErrUnprocessable = errors.New("server: unprocessable payload")
+
+	// ErrBadChunk is returned by api.ChunkFlight for a zero or negative
+	// chunk size — the caller asked for an impossible slicing rather than
+	// the "single request" behavior (which is an explicit choice, not a
+	// degenerate chunk size). Never served over the wire; CLI-side only.
+	ErrBadChunk = errors.New("api: chunk seconds must be positive")
+
+	// ErrSeqGap is returned when a frames request carries a sequence
+	// number that skips ahead of the session's accepted prefix — an
+	// earlier chunk was lost, so accepting this one would silently corrupt
+	// the stream. The client must back up to last_seq + 1. HTTP: 409
+	// Conflict.
+	ErrSeqGap = errors.New("server: frames sequence gap")
+
+	// ErrSessionFailed is returned for any operation on a session whose
+	// engine goroutine panicked or died fatally. The failure is isolated
+	// to the one session; its cause is recorded in the session status.
+	// HTTP: 500 with code "session_failed".
+	ErrSessionFailed = errors.New("server: session failed")
+
+	// ErrTimeout is returned when a batch analysis exceeds its request
+	// deadline (client disconnect or server-side cap) and the handler
+	// abandons it. HTTP: 503 with code "timeout" — the work was shed, not
+	// wrong, so the client may retry. The worker-pool slot is released
+	// only when the abandoned analysis actually returns.
+	ErrTimeout = errors.New("server: analysis timed out")
 )

@@ -1,0 +1,170 @@
+// Package leakcheck is a hand-rolled goroutine-leak detector for test
+// suites and soaks: snapshot the live goroutines, run the workload, and
+// assert the set returned to baseline. It parses runtime.Stack output
+// rather than trusting a bare runtime.NumGoroutine delta — the count can
+// coincidentally match while one goroutine leaked and another (say a
+// finished test helper) exited — and it retries with backoff because
+// goroutine teardown is asynchronous: a Close() returns before the
+// goroutines it stops have fully unwound.
+//
+// Wire it into a package with a TestMain:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// which fails the whole run if goroutines survive after every test
+// finished, or assert per test with Check(t). The chaos soak uses
+// Snapshot/Wait directly (no testing.T in a CLI).
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ignored matches goroutines that are part of the runtime or test
+// harness rather than the code under test. Matching is against the
+// goroutine's full stack block, so both function names and states work.
+var ignored = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*M).",
+	"testing.runTests",
+	"runtime.goexit0",
+	"runtime.MHeap_Scavenger",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.forcegchelper",
+	"runtime.gcBgMarkWorker",
+	"runtime.ReadTrace",
+	"runtime/trace.Start",
+	"signal.signal_recv",
+	"os/signal.loop",
+	"os/signal.signal_recv",
+	"leakcheck.interesting",
+	"leakcheck.Snapshot",
+}
+
+// interesting reports whether one goroutine stack block belongs to code
+// under test.
+func interesting(block string) bool {
+	if strings.TrimSpace(block) == "" {
+		return false
+	}
+	for _, p := range ignored {
+		if strings.Contains(block, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot captures the stacks of all interesting live goroutines, one
+// string per goroutine, sorted for stable comparison.
+func Snapshot() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []string
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		if interesting(block) {
+			out = append(out, block)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// leaked returns the goroutines present now but not in before.
+func leaked(before []string) []string {
+	base := make(map[string]int, len(before))
+	for _, b := range before {
+		// Key on the stack below the header line: goroutine ids and
+		// states ("running" vs "runnable") churn between snapshots.
+		base[stackKey(b)]++
+	}
+	var out []string
+	for _, g := range Snapshot() {
+		k := stackKey(g)
+		if base[k] > 0 {
+			base[k]--
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// stackKey strips the "goroutine N [state]:" header so two captures of
+// the same goroutine compare equal.
+func stackKey(block string) string {
+	if i := strings.Index(block, "\n"); i >= 0 {
+		return block[i+1:]
+	}
+	return block
+}
+
+// Wait polls until every goroutine not in before has exited, or the
+// timeout expires; it returns the stragglers (nil on success). Teardown
+// is asynchronous, so one immediate check would flag goroutines that are
+// already unwinding.
+func Wait(before []string, timeout time.Duration) []string {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	delay := time.Millisecond
+	for {
+		extra := leaked(before)
+		if len(extra) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return extra
+		}
+		time.Sleep(delay)
+		if delay < 100*time.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
+// Check snapshots at call time and asserts at test cleanup that every
+// goroutine started since has exited.
+func Check(t *testing.T) {
+	t.Helper()
+	before := Snapshot()
+	t.Cleanup(func() {
+		if extra := Wait(before, 5*time.Second); len(extra) != 0 {
+			t.Errorf("leakcheck: %d goroutine(s) leaked:\n%s",
+				len(extra), strings.Join(extra, "\n\n"))
+		}
+	})
+}
+
+// Main wraps a package's TestMain: it runs the tests, then fails the
+// process if goroutines survive the whole suite. The baseline is
+// whatever is live before any test runs (init-started goroutines are
+// not leaks).
+func Main(m *testing.M) {
+	before := Snapshot()
+	code := m.Run()
+	if code == 0 {
+		if extra := Wait(before, 5*time.Second); len(extra) != 0 {
+			fmt.Fprintf(os.Stderr, "leakcheck: %d goroutine(s) leaked after all tests:\n%s\n",
+				len(extra), strings.Join(extra, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

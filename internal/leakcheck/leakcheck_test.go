@@ -1,0 +1,64 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnapshotStable(t *testing.T) {
+	a := Snapshot()
+	b := Snapshot()
+	if len(a) != len(b) {
+		t.Fatalf("idle snapshots differ: %d vs %d goroutines", len(a), len(b))
+	}
+}
+
+func TestDetectsLeakedGoroutine(t *testing.T) {
+	before := Snapshot()
+	block := make(chan struct{})
+	go func() { <-block }()
+	extra := Wait(before, 50*time.Millisecond)
+	if len(extra) != 1 {
+		t.Fatalf("Wait found %d leaked goroutine(s), want 1:\n%s",
+			len(extra), strings.Join(extra, "\n\n"))
+	}
+	if !strings.Contains(extra[0], "leakcheck.TestDetectsLeakedGoroutine") {
+		t.Fatalf("leak report does not name the leaking function:\n%s", extra[0])
+	}
+	close(block)
+	if extra := Wait(before, 5*time.Second); len(extra) != 0 {
+		t.Fatalf("goroutine released but still reported leaked:\n%s",
+			strings.Join(extra, "\n\n"))
+	}
+}
+
+func TestWaitToleratesSlowTeardown(t *testing.T) {
+	before := Snapshot()
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(30 * time.Millisecond) // teardown lag, not a leak
+		close(done)
+	}()
+	if extra := Wait(before, 5*time.Second); len(extra) != 0 {
+		t.Fatalf("slow-exiting goroutine reported as a leak:\n%s",
+			strings.Join(extra, "\n\n"))
+	}
+	<-done
+}
+
+func TestIgnoresHarnessGoroutines(t *testing.T) {
+	for _, g := range Snapshot() {
+		if strings.Contains(g, "testing.tRunner") || strings.Contains(g, "testing.(*M).") {
+			t.Fatalf("harness goroutine leaked into snapshot:\n%s", g)
+		}
+	}
+}
+
+func TestStackKeyStripsHeader(t *testing.T) {
+	a := "goroutine 7 [running]:\nmain.leak()\n\t/x/main.go:10"
+	b := "goroutine 99 [chan receive]:\nmain.leak()\n\t/x/main.go:10"
+	if stackKey(a) != stackKey(b) {
+		t.Fatalf("same stack, different keys:\n%q\n%q", stackKey(a), stackKey(b))
+	}
+}

@@ -1,0 +1,11 @@
+package mavbus
+
+import (
+	"testing"
+
+	"soundboost/internal/leakcheck"
+)
+
+// TestMain fails the suite if any test leaks a goroutine — a subscriber
+// blocked on a channel nobody closes, a publisher stuck after Close.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

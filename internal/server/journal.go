@@ -1,0 +1,226 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"soundboost/api"
+)
+
+// The session journal is the server's crash-safety layer: with
+// Config.JournalDir set, every session writes enough durable state that a
+// killed-and-restarted `soundboost serve` can rebuild its session table
+// without losing a single accepted chunk. Two files per session:
+//
+//   - <id>.meta.json — the session's identity and lifecycle: the original
+//     SessionRequest, current state, highest accepted sequence number,
+//     failure cause, and (once finished) the final report. Rewritten
+//     atomically (temp file + rename) on every transition and refreshed
+//     with an engine-status checkpoint by the janitor, so the file is
+//     always a complete, parseable snapshot.
+//   - <id>.chunks.jsonl — the write-ahead chunk log: each accepted
+//     FramesRequest appended as one JSON line and fsynced BEFORE the
+//     chunk is published to the session bus (and so before the client
+//     sees its 200). A torn trailing line — the crash arriving mid-write
+//     — is treated as end-of-log: the chunk was never acknowledged, so
+//     the client will resend it.
+//
+// Recovery (journal.load + Server.recoverSessions) replays each
+// journaled session's chunk log through the normal publish path into a
+// fresh engine, which is deterministic, so a recovered session's verdict
+// is the verdict the original would have produced. Finished sessions
+// skip the replay: their report is served straight from meta.
+type journal struct {
+	dir string
+}
+
+// journalMeta is the durable per-session snapshot.
+type journalMeta struct {
+	ID        string             `json:"id"`
+	Req       api.SessionRequest `json:"request"`
+	State     string             `json:"state"`
+	LastSeq   int                `json:"last_seq"`
+	FailCause string             `json:"fail_cause,omitempty"`
+	// Report holds the final verdict once the session is done — the one
+	// piece of state cheaper to persist than to recompute.
+	Report *api.Report `json:"report,omitempty"`
+	// Engine is the janitor's periodic progress checkpoint. Informational
+	// (recovery replays the chunk log rather than trusting it): it lets an
+	// operator see how far a crashed session had gotten.
+	Engine api.EngineStatus `json:"engine"`
+}
+
+// recovered is one journaled session as read back at startup.
+type recovered struct {
+	meta   journalMeta
+	chunks []api.FramesRequest
+}
+
+func newJournal(dir string) (*journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: journal dir: %w", err)
+	}
+	return &journal{dir: dir}, nil
+}
+
+// open creates (or reopens for append) a session's journal files.
+func (j *journal) open(id string) (*sessionJournal, error) {
+	f, err := os.OpenFile(j.chunksPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("server: journal chunks: %w", err)
+	}
+	return &sessionJournal{j: j, id: id, chunks: f}, nil
+}
+
+func (j *journal) metaPath(id string) string   { return filepath.Join(j.dir, id+".meta.json") }
+func (j *journal) chunksPath(id string) string { return filepath.Join(j.dir, id+".chunks.jsonl") }
+
+// load reads every journaled session, in id order. A session whose meta
+// is unreadable is skipped (reported in errs) rather than blocking the
+// rest of the recovery; a torn trailing chunk line is silently treated
+// as end-of-log.
+func (j *journal) load() (sessions []recovered, errs []error) {
+	metas, err := filepath.Glob(filepath.Join(j.dir, "*.meta.json"))
+	if err != nil {
+		return nil, []error{err}
+	}
+	sort.Strings(metas)
+	for _, path := range metas {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("journal %s: %w", filepath.Base(path), err))
+			continue
+		}
+		var meta journalMeta
+		if err := json.Unmarshal(raw, &meta); err != nil {
+			errs = append(errs, fmt.Errorf("journal %s: %w", filepath.Base(path), err))
+			continue
+		}
+		if meta.ID == "" {
+			errs = append(errs, fmt.Errorf("journal %s: missing session id", filepath.Base(path)))
+			continue
+		}
+		rec := recovered{meta: meta}
+		if chunks, err := os.ReadFile(j.chunksPath(meta.ID)); err == nil {
+			for _, line := range bytes.Split(chunks, []byte{'\n'}) {
+				if len(bytes.TrimSpace(line)) == 0 {
+					continue
+				}
+				var req api.FramesRequest
+				if err := json.Unmarshal(line, &req); err != nil {
+					// Torn tail from a crash mid-append: the chunk was never
+					// acknowledged, so dropping it loses nothing the client
+					// believes was accepted.
+					break
+				}
+				rec.chunks = append(rec.chunks, req)
+			}
+		}
+		sessions = append(sessions, rec)
+	}
+	return sessions, errs
+}
+
+// sessionID extracts the numeric suffix of a session id ("s-00000042" →
+// 42, ok) so recovery can advance the id allocator past every journaled
+// session.
+func sessionID(id string) (int, bool) {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "s-"))
+	return n, err == nil && n > 0
+}
+
+// sessionJournal is one session's handle on the journal. Meta writes and
+// chunk appends are serialized by mu; the chunk file stays open for the
+// session's accepting lifetime.
+type sessionJournal struct {
+	j  *journal
+	id string
+
+	mu     sync.Mutex
+	chunks *os.File
+}
+
+// writeMeta atomically replaces the session's meta snapshot.
+func (sj *sessionJournal) writeMeta(m journalMeta) error {
+	sj.mu.Lock()
+	defer sj.mu.Unlock()
+	return sj.writeMetaLocked(m)
+}
+
+func (sj *sessionJournal) writeMetaLocked(m journalMeta) error {
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	path := sj.j.metaPath(sj.id)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(raw, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	// Best-effort directory sync so the rename itself survives power loss.
+	if d, err := os.Open(sj.j.dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// appendChunk durably logs one accepted FramesRequest. It must return
+// before the chunk is published or acknowledged — the write-ahead
+// ordering is what makes "accepted" mean "survives a crash".
+func (sj *sessionJournal) appendChunk(req api.FramesRequest) error {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	sj.mu.Lock()
+	defer sj.mu.Unlock()
+	if sj.chunks == nil {
+		return fmt.Errorf("server: journal chunk log closed")
+	}
+	if _, err := sj.chunks.Write(append(raw, '\n')); err != nil {
+		return err
+	}
+	return sj.chunks.Sync()
+}
+
+// closeChunks releases the chunk-log handle once the session stops
+// accepting frames (the file itself stays for recovery until remove).
+func (sj *sessionJournal) closeChunks() {
+	sj.mu.Lock()
+	defer sj.mu.Unlock()
+	if sj.chunks != nil {
+		sj.chunks.Close()
+		sj.chunks = nil
+	}
+}
+
+// remove deletes the session's journal files (eviction: the session is
+// gone from the table, so recovering it would resurrect a ghost).
+func (sj *sessionJournal) remove() {
+	sj.closeChunks()
+	_ = os.Remove(sj.j.metaPath(sj.id))
+	_ = os.Remove(sj.j.chunksPath(sj.id))
+}

@@ -1,0 +1,12 @@
+package server
+
+import (
+	"testing"
+
+	"soundboost/internal/leakcheck"
+)
+
+// TestMain fails the suite if any test leaks a goroutine — a session
+// engine that outlived its server, a janitor that missed its stop
+// signal, a batch analysis goroutine that never released its slot.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

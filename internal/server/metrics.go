@@ -16,9 +16,23 @@ var (
 	sessionsDeadline = obs.Default.Counter("server.sessions.expired_deadline")
 	sessionsEvicted  = obs.Default.Counter("server.sessions.evicted")
 	sessionsRejected = obs.Default.Counter("server.sessions.rejected")
-	jobsRejected     = obs.Default.Counter("server.jobs.rejected")
-	framesAccepted   = obs.Default.Counter("server.frames.accepted")
-	httpErrors       = obs.Default.Counter("server.http.errors")
+	// sessions.panicked counts engine goroutines that died by panic —
+	// each one is a contained failure domain (state "failed"), never a
+	// process crash; the chaos soak reconciles it against
+	// chaos.injected.poison.
+	sessionsPanicked = obs.Default.Counter("server.sessions.panicked")
+	// sessions.recovered counts sessions rebuilt from the journal at
+	// startup.
+	sessionsRecovered = obs.Default.Counter("server.sessions.recovered")
+	// journal.chunks counts write-ahead chunk appends (fsynced before the
+	// client's 200).
+	journalChunks = obs.Default.Counter("server.journal.chunks")
+	jobsRejected  = obs.Default.Counter("server.jobs.rejected")
+	// jobs.timed_out counts batch analyses abandoned at their deadline;
+	// their limiter slots free when the work returns.
+	jobsTimedOut   = obs.Default.Counter("server.jobs.timed_out")
+	framesAccepted = obs.Default.Counter("server.frames.accepted")
+	httpErrors     = obs.Default.Counter("server.http.errors")
 
 	flightsTimer  = obs.Default.Timer("server.http.flights")
 	sessionsTimer = obs.Default.Timer("server.http.sessions.create")

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"soundboost/api"
+	"soundboost/internal/chaos"
 	soundboost "soundboost/internal/core"
 	"soundboost/internal/dataset"
 	"soundboost/internal/faults"
@@ -63,8 +64,24 @@ type Config struct {
 	SweepInterval time.Duration
 	// RetryAfterSeconds is advertised on 429 responses (default 1).
 	RetryAfterSeconds int
+	// BatchTimeout bounds one batch flight analysis (default 2m). A
+	// request whose analysis outlives it (or whose client disconnects)
+	// gets 503/timeout; the worker slot frees when the abandoned analysis
+	// actually returns.
+	BatchTimeout time.Duration
+	// JournalDir, when set, enables crash-safe session recovery: accepted
+	// chunks are fsynced to a write-ahead log before they are
+	// acknowledged, lifecycle transitions are checkpointed, and a
+	// restarted server rebuilds its session table from the directory. See
+	// DESIGN.md "Failure domains & recovery".
+	JournalDir string
+	// SessionInjector, when set, supplies a chaos fault schedule for each
+	// new session: the returned injector (nil = no faults) wraps the
+	// session's bus publish path. Used by the `soundboost chaos` soak to
+	// inject message-plane faults server-side; never set in production.
+	SessionInjector func(id, flight string) *chaos.Injector
 	// Logf, when set, receives one line per lifecycle event (session
-	// opened/closed/evicted, drain).
+	// opened/closed/evicted/failed/recovered, drain).
 	Logf func(format string, a ...any)
 }
 
@@ -93,16 +110,20 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfterSeconds <= 0 {
 		c.RetryAfterSeconds = 1
 	}
+	if c.BatchTimeout <= 0 {
+		c.BatchTimeout = 2 * time.Minute
+	}
 	return c
 }
 
 // Server hosts the RCA service over one shared calibrated analyzer.
 type Server struct {
-	an   *soundboost.Analyzer
-	cfg  Config
-	jobs *parallel.Limiter
-	mux  *http.ServeMux
-	now  func() time.Time
+	an      *soundboost.Analyzer
+	cfg     Config
+	jobs    *parallel.Limiter
+	mux     *http.ServeMux
+	now     func() time.Time
+	journal *journal // nil unless Config.JournalDir is set
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -136,6 +157,17 @@ func New(an *soundboost.Analyzer, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /"+api.Version+"/sessions/{id}/report", s.handleReport)
 	s.mux.HandleFunc("GET /"+api.Version+"/sessions/{id}/status", s.handleStatus)
 	s.mux.HandleFunc("GET /"+api.Version+"/healthz", s.handleHealthz)
+	if s.cfg.JournalDir != "" {
+		j, err := newJournal(s.cfg.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = j
+		// Rebuild the session table from the journal before accepting
+		// traffic, so a client resuming against a restarted server never
+		// races its own recovery.
+		s.recoverSessions()
+	}
 	go s.janitor()
 	return s, nil
 }
@@ -187,7 +219,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// Abandon straggler engines: detach them so their goroutines
 		// unwind even if a publisher still holds the bus.
 		for _, sess := range open {
-			sess.eng.Close()
+			if sess.eng != nil {
+				sess.eng.Close()
+			}
 		}
 		return ctx.Err()
 	}
@@ -214,22 +248,53 @@ func (s *Server) handleFlights(w http.ResponseWriter, r *http.Request) {
 			faults.ErrCapacity, s.jobs.InUse(), s.jobs.Cap()))
 		return
 	}
-	defer s.jobs.Release()
 	start := s.now()
 	flight, err := dataset.Load(r.Body)
 	if err != nil {
+		s.jobs.Release()
 		s.writeError(w, fmt.Errorf("%w: %v", faults.ErrUnprocessable, err))
 		return
 	}
-	report, err := s.an.Analyze(flight)
-	if err != nil {
-		s.writeError(w, err)
-		return
+
+	// Run the analysis on a goroutine that owns the limiter slot, so a
+	// wedged or slow analysis cannot hold the slot past its own return
+	// even after the handler gives up on it: the slot frees exactly when
+	// the work stops, and a panic inside the analyzer frees it too.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.BatchTimeout)
+	defer cancel()
+	type result struct {
+		report soundboost.Report
+		err    error
 	}
-	s.writeJSON(w, http.StatusOK, api.FlightResponse{
-		Report:         api.ReportFromCore(report),
-		ElapsedSeconds: s.now().Sub(start).Seconds(),
-	})
+	ch := make(chan result, 1) // buffered: the handler may be gone
+	go func() {
+		defer s.jobs.Release()
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- result{err: fmt.Errorf("batch analysis panic: %v", p)}
+			}
+		}()
+		report, err := s.an.Analyze(flight)
+		ch <- result{report, err}
+	}()
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			s.writeError(w, res.err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, api.FlightResponse{
+			Report:         api.ReportFromCore(res.report),
+			ElapsedSeconds: s.now().Sub(start).Seconds(),
+		})
+	case <-ctx.Done():
+		// Client gone or deadline hit: shed the request. The analysis
+		// keeps its slot until it returns — that is backpressure working,
+		// not a leak — and new requests see 429 while it unwinds.
+		jobsTimedOut.Inc()
+		s.writeError(w, fmt.Errorf("%w after %s", faults.ErrTimeout,
+			s.now().Sub(start).Round(time.Millisecond)))
+	}
 }
 
 // handleSessionCreate opens a streaming session.
@@ -270,17 +335,25 @@ func (s *Server) handleFrames(w http.ResponseWriter, r *http.Request) {
 		s.writeBadRequest(w, err)
 		return
 	}
-	if sess.stateNow() != api.SessionOpen {
+	switch st := sess.stateNow(); st {
+	case api.SessionOpen:
+	case api.SessionFailed:
+		s.writeError(w, fmt.Errorf("%w: %q: %s", faults.ErrSessionFailed, sess.id, sess.snapshot(s.now()).FailCause))
+		return
+	default:
 		s.writeError(w, fmt.Errorf("%w: %q", faults.ErrSessionClosed, sess.id))
 		return
 	}
 	sess.touch(s.now())
-	accepted, err := sess.publish(req)
+	accepted, duplicate, err := sess.publish(req)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 	framesAccepted.Add(int64(accepted))
+	// Close is honored even on a duplicate resend: the original ack may
+	// have been lost after the chunk was accepted but before the close
+	// transition, and closeStream is idempotent either way.
 	if req.Close {
 		if sess.closeStream() {
 			sessionsClosed.Inc()
@@ -292,6 +365,7 @@ func (s *Server) handleFrames(w http.ResponseWriter, r *http.Request) {
 		Accepted:      accepted,
 		Shed:          sess.bus.Dropped(),
 		State:         sess.stateNow(),
+		Duplicate:     duplicate,
 	})
 }
 
@@ -380,8 +454,13 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, faults.ErrSessionNotFound):
 		status, code = http.StatusNotFound, api.CodeNotFound
+	case errors.Is(err, faults.ErrSessionFailed):
+		status, code = http.StatusInternalServerError, api.CodeSessionFailed
+	case errors.Is(err, faults.ErrTimeout):
+		status, code = http.StatusServiceUnavailable, api.CodeTimeout
 	case errors.Is(err, faults.ErrSessionClosed),
 		errors.Is(err, faults.ErrSessionOpen),
+		errors.Is(err, faults.ErrSeqGap),
 		errors.Is(err, faults.ErrBusClosed):
 		status, code = http.StatusConflict, api.CodeConflict
 	case errors.Is(err, faults.ErrNoFlight),

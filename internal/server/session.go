@@ -3,11 +3,13 @@ package server
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
 
 	"soundboost/api"
+	"soundboost/internal/chaos"
 	soundboost "soundboost/internal/core"
 	"soundboost/internal/faults"
 	"soundboost/internal/mavbus"
@@ -17,28 +19,66 @@ import (
 // session is one live (or recently finished) streaming RCA run: a
 // private mavbus carrying the client's telemetry into a dedicated
 // engine. Lifecycle: open (accepting frames) → draining (end-of-stream
-// seen, engine flushing) → done (final report held until eviction). See
-// DESIGN.md "Session lifecycle".
+// seen, engine flushing) → done (final report held until eviction), or
+// → failed if the engine dies (the failure domain is this one session —
+// see DESIGN.md "Failure domains & recovery").
 type session struct {
 	id      string
 	flight  string
 	bus     *mavbus.Bus
-	eng     *stream.Engine
+	eng     *stream.Engine // nil for sessions recovered in a terminal state
 	created time.Time
+	req     api.SessionRequest
 
-	// done closes when the engine goroutine has stored its report.
+	// pub is the bus publish path, possibly wrapped by a chaos injector.
+	pub chaos.PubFunc
+	inj *chaos.Injector // nil unless Config.SessionInjector supplied one
+	sj  *sessionJournal // nil unless journaling is enabled
+
+	// done closes when the engine goroutine has stored its report (or the
+	// session was recovered directly into a terminal state).
 	done chan struct{}
+
+	// logf receives lifecycle lines (the server's Config.Logf; never nil).
+	logf func(format string, a ...any)
+
+	// pubMu serializes frame publication so sequence-number bookkeeping
+	// and the write-ahead journal see chunks in one total order.
+	pubMu sync.Mutex
 
 	mu        sync.Mutex
 	state     string
 	lastTouch time.Time
+	lastSeq   int
+	failCause string
 	report    soundboost.Report
 	runErr    error
 }
 
 // run consumes the session's bus until it closes, then records the
-// final verdict. It is the session's only long-lived goroutine.
+// final verdict. It is the session's only long-lived goroutine, and the
+// session's panic isolation domain: a panicking engine (poison pill,
+// corrupted state, a bug) marks this one session failed with its cause
+// recorded — the process, and every other session, keeps running.
 func (s *session) run() {
+	defer func() {
+		if p := recover(); p != nil {
+			sessionsPanicked.Inc()
+			cause := fmt.Sprintf("engine panic: %v", p)
+			s.mu.Lock()
+			s.state = api.SessionFailed
+			s.failCause = cause
+			s.runErr = fmt.Errorf("%w: %s", faults.ErrSessionFailed, cause)
+			s.mu.Unlock()
+			// The engine goroutine is gone; close the bus so publishers
+			// get ErrBusClosed instead of filling a dead queue. Keep the
+			// stack out of the HTTP response but not out of the log.
+			s.bus.Close()
+			close(s.done)
+			s.persistMeta()
+			s.logf("session %s failed: %s\n%s", s.id, cause, debug.Stack())
+		}
+	}()
 	report, err := s.eng.Run(context.Background())
 	s.mu.Lock()
 	s.report = report
@@ -46,6 +86,33 @@ func (s *session) run() {
 	s.state = api.SessionDone
 	s.mu.Unlock()
 	close(s.done)
+	s.persistMeta()
+}
+
+// persistMeta snapshots the session into its journal (no-op when
+// journaling is off). Called on every lifecycle transition and by the
+// janitor as a periodic checkpoint.
+func (s *session) persistMeta() {
+	if s.sj == nil {
+		return
+	}
+	s.mu.Lock()
+	meta := journalMeta{
+		ID:        s.id,
+		Req:       s.req,
+		State:     s.state,
+		LastSeq:   s.lastSeq,
+		FailCause: s.failCause,
+	}
+	if s.state == api.SessionDone && s.runErr == nil {
+		r := api.ReportFromCore(s.report)
+		meta.Report = &r
+	}
+	s.mu.Unlock()
+	if s.eng != nil {
+		meta.Engine = api.EngineStatusFromStream(s.eng.Status())
+	}
+	_ = s.sj.writeMeta(meta)
 }
 
 // touch refreshes the idle clock (frame activity only — status polls do
@@ -67,7 +134,16 @@ func (s *session) closeStream() bool {
 	}
 	s.state = api.SessionDraining
 	s.mu.Unlock()
+	if s.inj != nil {
+		// Release any message the schedule held back for reordering
+		// before end-of-stream reaches the engine.
+		_ = s.inj.Flush(s.bus.Publish)
+	}
 	s.bus.Close()
+	if s.sj != nil {
+		s.sj.closeChunks()
+	}
+	s.persistMeta()
 	return true
 }
 
@@ -76,8 +152,10 @@ func (s *session) snapshot(now time.Time) api.SessionStatus {
 	s.mu.Lock()
 	state := s.state
 	last := s.lastTouch
+	lastSeq := s.lastSeq
+	failCause := s.failCause
 	s.mu.Unlock()
-	return api.SessionStatus{
+	st := api.SessionStatus{
 		SchemaVersion: api.Version,
 		ID:            s.id,
 		Flight:        s.flight,
@@ -85,15 +163,61 @@ func (s *session) snapshot(now time.Time) api.SessionStatus {
 		AgeSeconds:    now.Sub(s.created).Seconds(),
 		IdleSeconds:   now.Sub(last).Seconds(),
 		Shed:          s.bus.Dropped(),
-		Engine:        api.EngineStatusFromStream(s.eng.Status()),
+		LastSeq:       lastSeq,
+		FailCause:     failCause,
 	}
+	if s.eng != nil {
+		st.Engine = api.EngineStatusFromStream(s.eng.Status())
+	}
+	return st
 }
 
 // publish feeds one FramesRequest into the session bus. The three
 // streams are merged by timestamp — stable, audio appended before IMU
 // before GPS at equal times — exactly mirroring stream.Replay's event
 // ordering so a chunked upload reproduces the batch verdict.
-func (s *session) publish(req api.FramesRequest) (int, error) {
+//
+// When the request carries a sequence number (Seq > 0) publication is
+// idempotent: a chunk at or below the accepted high-water mark is
+// acknowledged without re-publishing (duplicate=true) so a client that
+// lost an ack can blindly resend, and a chunk that skips ahead is
+// rejected with faults.ErrSeqGap. With journaling on, an accepted chunk
+// is fsynced to the write-ahead log before it reaches the bus.
+func (s *session) publish(req api.FramesRequest) (accepted int, duplicate bool, err error) {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	if req.Seq > 0 {
+		s.mu.Lock()
+		last := s.lastSeq
+		s.mu.Unlock()
+		if req.Seq <= last {
+			return 0, true, nil
+		}
+		if req.Seq != last+1 {
+			return 0, false, fmt.Errorf("%w: got seq %d, want %d", faults.ErrSeqGap, req.Seq, last+1)
+		}
+	}
+	if s.sj != nil {
+		if err := s.sj.appendChunk(req); err != nil {
+			return 0, false, fmt.Errorf("server: journal append: %w", err)
+		}
+		journalChunks.Inc()
+	}
+	n, err := s.publishEvents(req)
+	if err != nil {
+		return n, false, err
+	}
+	if req.Seq > 0 {
+		s.mu.Lock()
+		s.lastSeq = req.Seq
+		s.mu.Unlock()
+	}
+	return n, false, nil
+}
+
+// publishEvents merges and publishes one request's events (no sequence
+// or journal bookkeeping — publish and recovery replay share it).
+func (s *session) publishEvents(req api.FramesRequest) (int, error) {
 	type event struct {
 		t   float64
 		msg mavbus.Message
@@ -126,7 +250,7 @@ func (s *session) publish(req api.FramesRequest) (int, error) {
 	}
 	sort.SliceStable(events, func(i, j int) bool { return events[i].t < events[j].t })
 	for i, ev := range events {
-		if err := s.bus.Publish(ev.msg); err != nil {
+		if err := s.pub(ev.msg); err != nil {
 			return i, err
 		}
 	}
@@ -192,14 +316,34 @@ func (s *Server) createSession(req api.SessionRequest) (*session, error) {
 		eng:       eng,
 		created:   now,
 		lastTouch: now,
+		req:       req,
+		pub:       bus.Publish,
+		logf:      s.logf,
 		state:     api.SessionOpen,
 		done:      make(chan struct{}),
+	}
+	if s.cfg.SessionInjector != nil {
+		if inj := s.cfg.SessionInjector(id, req.Flight); inj != nil {
+			sess.inj = inj
+			sess.pub = inj.Publisher(bus.Publish)
+		}
+	}
+	if s.journal != nil {
+		sj, err := s.journal.open(id)
+		if err != nil {
+			bus.Close()
+			return nil, err
+		}
+		sess.sj = sj
 	}
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		bus.Close()
+		if sess.sj != nil {
+			sess.sj.remove()
+		}
 		return nil, errShuttingDown
 	}
 	if len(s.sessions) >= s.cfg.MaxSessions && !s.evictLocked() {
@@ -207,6 +351,9 @@ func (s *Server) createSession(req api.SessionRequest) (*session, error) {
 		n := len(s.sessions)
 		s.mu.Unlock()
 		bus.Close()
+		if sess.sj != nil {
+			sess.sj.remove()
+		}
 		return nil, fmt.Errorf("%w: %d live sessions (cap %d)", faults.ErrCapacity, n, s.cfg.MaxSessions)
 	}
 	s.sessions[id] = sess
@@ -215,6 +362,7 @@ func (s *Server) createSession(req api.SessionRequest) (*session, error) {
 	s.mu.Unlock()
 
 	sessionsOpened.Inc()
+	sess.persistMeta()
 	go func() {
 		defer s.wg.Done()
 		sess.run()
@@ -229,7 +377,7 @@ func (s *Server) createSession(req api.SessionRequest) (*session, error) {
 func (s *Server) evictLocked() bool {
 	var victim *session
 	for _, sess := range s.sessions {
-		if sess.stateNow() != api.SessionDone {
+		if st := sess.stateNow(); st != api.SessionDone && st != api.SessionFailed {
 			continue
 		}
 		if victim == nil || sess.lastTouchLocked().Before(victim.lastTouchLocked()) {
@@ -240,6 +388,9 @@ func (s *Server) evictLocked() bool {
 		return false
 	}
 	delete(s.sessions, victim.id)
+	if victim.sj != nil {
+		victim.sj.remove()
+	}
 	sessionsActive.Set(float64(len(s.sessions)))
 	sessionsEvicted.Inc()
 	s.logf("session %s evicted (LRU, table full)", victim.id)
@@ -289,21 +440,176 @@ func (s *Server) janitor() {
 			idle := now.Sub(sess.lastTouch)
 			age := now.Sub(sess.created)
 			sess.mu.Unlock()
-			if state != api.SessionOpen {
-				continue
+			if state == api.SessionOpen {
+				switch {
+				case age > s.cfg.MaxSessionAge:
+					if sess.closeStream() {
+						sessionsDeadline.Inc()
+						s.logf("session %s closed: hard deadline (%s)", sess.id, s.cfg.MaxSessionAge)
+					}
+				case idle > s.cfg.IdleTimeout:
+					if sess.closeStream() {
+						sessionsExpired.Inc()
+						s.logf("session %s closed: idle for %s", sess.id, idle.Round(time.Millisecond))
+					}
+				}
 			}
-			switch {
-			case age > s.cfg.MaxSessionAge:
-				if sess.closeStream() {
-					sessionsDeadline.Inc()
-					s.logf("session %s closed: hard deadline (%s)", sess.id, s.cfg.MaxSessionAge)
-				}
-			case idle > s.cfg.IdleTimeout:
-				if sess.closeStream() {
-					sessionsExpired.Inc()
-					s.logf("session %s closed: idle for %s", sess.id, idle.Round(time.Millisecond))
-				}
+			// Periodic checkpoint: refresh the journaled engine snapshot so
+			// a crash loses at most one sweep interval of progress metadata
+			// (never chunks — those are write-ahead).
+			if sess.sj != nil && state == api.SessionOpen {
+				sess.persistMeta()
 			}
 		}
 	}
+}
+
+// --- crash recovery ---
+
+// recoverSessions rebuilds the session table from the journal at
+// startup. Sessions that finished before the crash are restored straight
+// into their terminal state (report or failure cause served from meta);
+// interrupted sessions get a fresh engine and their chunk log replayed
+// through the normal publish path — deterministic, so the recovered
+// verdict is the one the original run would have produced. Open sessions
+// stay open: the client polls status, reads last_seq, and resumes from
+// the next chunk.
+func (s *Server) recoverSessions() {
+	recs, errs := s.journal.load()
+	for _, err := range errs {
+		s.logf("journal: %v", err)
+	}
+	for _, rec := range recs {
+		if n, ok := sessionID(rec.meta.ID); ok && n > s.nextID {
+			s.nextID = n
+		}
+		if err := s.recoverSession(rec); err != nil {
+			s.logf("journal: session %s not recovered: %v", rec.meta.ID, err)
+			continue
+		}
+		sessionsRecovered.Inc()
+	}
+}
+
+// recoverSession rebuilds one journaled session.
+func (s *Server) recoverSession(rec recovered) error {
+	meta := rec.meta
+	now := s.now()
+
+	// Terminal states need no engine: the journal already holds the
+	// outcome.
+	if meta.State == api.SessionDone || meta.State == api.SessionFailed {
+		if meta.State == api.SessionDone && meta.Report == nil {
+			// Finished but the report never hit the meta (crash inside the
+			// transition). Fall through and recompute it by replay.
+			meta.State = api.SessionDraining
+		} else {
+			bus := mavbus.NewBus(1)
+			bus.Close()
+			sess := &session{
+				id: meta.ID, flight: meta.Req.Flight, bus: bus,
+				created: now, lastTouch: now, req: meta.Req,
+				pub: bus.Publish, logf: s.logf,
+				state: meta.State, lastSeq: meta.LastSeq,
+				failCause: meta.FailCause,
+				done:      make(chan struct{}),
+			}
+			if meta.State == api.SessionFailed {
+				sess.runErr = fmt.Errorf("%w: %s", faults.ErrSessionFailed, meta.FailCause)
+			} else {
+				sess.report = meta.Report.ToCore()
+			}
+			close(sess.done)
+			sj, err := s.journal.open(meta.ID)
+			if err != nil {
+				return err
+			}
+			sj.closeChunks()
+			sess.sj = sj
+			s.mu.Lock()
+			s.sessions[meta.ID] = sess
+			sessionsActive.Set(float64(len(s.sessions)))
+			s.mu.Unlock()
+			s.logf("session %s recovered (%s)", meta.ID, meta.State)
+			return nil
+		}
+	}
+
+	// Interrupted session: rebuild the engine and replay the chunk log.
+	// The buffer floor absorbs the replay burst — recovery publishes the
+	// whole log as fast as the bus accepts, and a shed message here would
+	// silently change the verdict.
+	opts := []stream.Option{
+		stream.WithFlightName(meta.Req.Flight),
+		stream.WithBuffer(maxInt(meta.Req.Buffer, maxInt(s.cfg.SessionBuffer, recoveryBufferFloor))),
+	}
+	if meta.Req.LagHorizonSeconds > 0 {
+		opts = append(opts, stream.WithLagHorizon(meta.Req.LagHorizonSeconds))
+	}
+	if meta.Req.GapFill {
+		opts = append(opts, stream.WithGapFill(true))
+	}
+	eng, err := stream.New(s.an, meta.Req.SampleRateHz, opts...)
+	if err != nil {
+		return err
+	}
+	bus := mavbus.NewBus(0)
+	if err := eng.Attach(bus); err != nil {
+		return err
+	}
+	sess := &session{
+		id: meta.ID, flight: meta.Req.Flight, bus: bus, eng: eng,
+		created: now, lastTouch: now, req: meta.Req,
+		pub: bus.Publish, logf: s.logf,
+		state: api.SessionOpen,
+		done:  make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.sessions[meta.ID] = sess
+	sessionsActive.Set(float64(len(s.sessions)))
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		sess.run()
+	}()
+
+	// Replay with journaling detached: these chunks are already on disk.
+	closeSeen := false
+	for _, req := range rec.chunks {
+		if _, _, err := sess.publish(req); err != nil {
+			s.logf("session %s replay: %v", meta.ID, err)
+			break
+		}
+		if req.Close {
+			closeSeen = true
+		}
+	}
+
+	// Reattach the journal (append mode) so the resumed session keeps
+	// logging new chunks.
+	sj, err := s.journal.open(meta.ID)
+	if err != nil {
+		return err
+	}
+	sess.sj = sj
+	if closeSeen || meta.State != api.SessionOpen {
+		sess.closeStream()
+	} else {
+		sess.persistMeta()
+	}
+	s.logf("session %s recovered (%d chunk(s) replayed, last_seq %d)",
+		meta.ID, len(rec.chunks), sess.snapshot(now).LastSeq)
+	return nil
+}
+
+// recoveryBufferFloor is the minimum per-topic bus depth used while
+// replaying a journaled chunk log at startup.
+const recoveryBufferFloor = 1 << 16
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -1,0 +1,174 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+
+	"soundboost/internal/chaos"
+)
+
+// CorruptPayload is the chaos.CorruptFunc for the engine's payload types
+// (AudioFrame, IMUSample, GPSSample): the one place chaos faults learn
+// how to mutate typed telemetry. The chaos package stays payload-agnostic
+// so Replay (this package) and the soak (cmd/soundboost) inject through
+// one code path without an import cycle.
+//
+// Mutations never write through to the input payloads — audio frames
+// share their sample slices with the recorded flight, and a message may
+// be duplicated after corruption — so every mutated slice is copied
+// first.
+func CorruptPayload(rng *rand.Rand, kind chaos.Corruption, cur, prev any, dt float64) (any, bool) {
+	switch p := cur.(type) {
+	case AudioFrame:
+		return corruptAudio(rng, kind, p, prev, dt)
+	case IMUSample:
+		return corruptIMU(rng, kind, p, prev, dt)
+	case GPSSample:
+		return corruptGPS(rng, kind, p, prev, dt)
+	}
+	return cur, false
+}
+
+// mantissaBit picks a bit position within the float64 mantissa (0–51).
+// Flipping an exponent or sign bit would turn an ordinary sample into a
+// ±1e300-scale value — finite, so it sails past the non-finite input
+// guards, but large enough to overflow downstream arithmetic into NaN
+// deep inside analysis. A mantissa flip perturbs the value by at most
+// ~2x: corrupted-but-plausible data, which is the failure mode a sensor
+// bitflip is meant to model.
+func mantissaBit(rng *rand.Rand) uint {
+	return uint(rng.Intn(52))
+}
+
+// copyChannel clones one mic channel of a frame so the mutation cannot
+// reach the recording the frame was sliced from.
+func copyChannel(f AudioFrame, m int) AudioFrame {
+	samples := make([][]float64, len(f.Samples))
+	copy(samples, f.Samples)
+	ch := make([]float64, len(f.Samples[m]))
+	copy(ch, f.Samples[m])
+	samples[m] = ch
+	f.Samples = samples
+	return f
+}
+
+func corruptAudio(rng *rand.Rand, kind chaos.Corruption, f AudioFrame, prev any, dt float64) (any, bool) {
+	n := 0
+	if len(f.Samples) > 0 {
+		n = len(f.Samples[0])
+	}
+	switch kind {
+	case chaos.CorruptNaN:
+		if n == 0 {
+			return f, false
+		}
+		m, i := rng.Intn(len(f.Samples)), rng.Intn(n)
+		f = copyChannel(f, m)
+		f.Samples[m][i] = math.NaN()
+		return f, true
+	case chaos.CorruptTruncate:
+		if n < 2 {
+			return f, false
+		}
+		// Lose the tail; re-slicing shares storage but mutates nothing.
+		samples := make([][]float64, len(f.Samples))
+		for m := range f.Samples {
+			samples[m] = f.Samples[m][:n/2]
+		}
+		f.Samples = samples
+		return f, true
+	case chaos.CorruptBitFlip:
+		if n == 0 {
+			return f, false
+		}
+		m, i := rng.Intn(len(f.Samples)), rng.Intn(n)
+		bit := mantissaBit(rng)
+		f = copyChannel(f, m)
+		f.Samples[m][i] = math.Float64frombits(math.Float64bits(f.Samples[m][i]) ^ (1 << bit))
+		return f, true
+	case chaos.CorruptFreeze:
+		pf, ok := prev.(AudioFrame)
+		if !ok || len(pf.Samples) == 0 {
+			return f, false
+		}
+		// Stuck-at capture buffer: the previous frame's samples replayed
+		// at the current frame's clock.
+		f.Samples = pf.Samples
+		return f, true
+	case chaos.CorruptRetime:
+		f.Start += dt
+		return f, true
+	}
+	return f, false
+}
+
+func corruptIMU(rng *rand.Rand, kind chaos.Corruption, s IMUSample, prev any, dt float64) (any, bool) {
+	switch kind {
+	case chaos.CorruptNaN:
+		switch rng.Intn(3) {
+		case 0:
+			s.Accel.X = math.NaN()
+		case 1:
+			s.Accel.Z = math.NaN()
+		default:
+			s.Att.W = math.NaN()
+		}
+		return s, true
+	case chaos.CorruptBitFlip:
+		bit := mantissaBit(rng)
+		switch rng.Intn(3) {
+		case 0:
+			s.Accel.X = math.Float64frombits(math.Float64bits(s.Accel.X) ^ (1 << bit))
+		case 1:
+			s.Accel.Y = math.Float64frombits(math.Float64bits(s.Accel.Y) ^ (1 << bit))
+		default:
+			s.Accel.Z = math.Float64frombits(math.Float64bits(s.Accel.Z) ^ (1 << bit))
+		}
+		return s, true
+	case chaos.CorruptFreeze:
+		ps, ok := prev.(IMUSample)
+		if !ok {
+			return s, false
+		}
+		ps.Time = s.Time // values latch, the clock advances
+		return ps, true
+	case chaos.CorruptRetime:
+		s.Time += dt
+		return s, true
+	}
+	return s, false // truncation is meaningless for a fixed-size row
+}
+
+func corruptGPS(rng *rand.Rand, kind chaos.Corruption, s GPSSample, prev any, dt float64) (any, bool) {
+	switch kind {
+	case chaos.CorruptNaN:
+		if rng.Intn(2) == 0 {
+			s.Vel.X = math.NaN()
+		} else {
+			s.Pos.Z = math.NaN()
+		}
+		return s, true
+	case chaos.CorruptBitFlip:
+		bit := mantissaBit(rng)
+		switch rng.Intn(3) {
+		case 0:
+			s.Vel.X = math.Float64frombits(math.Float64bits(s.Vel.X) ^ (1 << bit))
+		case 1:
+			s.Vel.Y = math.Float64frombits(math.Float64bits(s.Vel.Y) ^ (1 << bit))
+		default:
+			s.Vel.Z = math.Float64frombits(math.Float64bits(s.Vel.Z) ^ (1 << bit))
+		}
+		return s, true
+	case chaos.CorruptFreeze:
+		ps, ok := prev.(GPSSample)
+		if !ok {
+			return s, false
+		}
+		ps.Time = s.Time
+		return ps, true
+	case chaos.CorruptRetime:
+		s.Time += dt
+		return s, true
+	}
+	return s, false
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"soundboost/internal/acoustics"
+	"soundboost/internal/chaos"
 	soundboost "soundboost/internal/core"
 	"soundboost/internal/dsp"
 	"soundboost/internal/faults"
@@ -257,11 +258,24 @@ func (e *Engine) Run(ctx context.Context) (soundboost.Report, error) {
 	return e.finalize()
 }
 
+// checkPoison treats a chaos.PoisonPill payload as an engine-integrity
+// fault and panics. This is the deliberate crash-test trigger for the
+// fault-injection harness: the panic must be contained by the engine's
+// owner (the server's per-session isolation domain), never by the engine
+// itself — swallowing it here would hide exactly the failure the soak
+// exists to exercise.
+func checkPoison(m mavbus.Message) {
+	if _, bad := m.Payload.(chaos.PoisonPill); bad {
+		panic(fmt.Sprintf("stream: poison pill on %q at t=%.3f", m.Topic, m.Time))
+	}
+}
+
 func (e *Engine) dispatchAudio(m mavbus.Message, ok bool, c *<-chan mavbus.Message) {
 	if !ok {
 		*c = nil
 		return
 	}
+	checkPoison(m)
 	if f, good := m.Payload.(AudioFrame); good {
 		e.onAudio(f)
 	}
@@ -273,6 +287,7 @@ func (e *Engine) dispatchIMU(m mavbus.Message, ok bool, c *<-chan mavbus.Message
 		e.imuDone = true
 		return
 	}
+	checkPoison(m)
 	if s, good := m.Payload.(IMUSample); good {
 		e.onIMU(s)
 	}
@@ -284,6 +299,7 @@ func (e *Engine) dispatchGPS(m mavbus.Message, ok bool, c *<-chan mavbus.Message
 		e.gpsDone = true
 		return
 	}
+	checkPoison(m)
 	if s, good := m.Payload.(GPSSample); good {
 		e.onGPS(s)
 	}

@@ -3,11 +3,11 @@ package stream
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"sort"
 	"time"
 
 	"soundboost/internal/acoustics"
+	"soundboost/internal/chaos"
 	"soundboost/internal/dataset"
 	"soundboost/internal/mavbus"
 )
@@ -21,17 +21,51 @@ type ReplayConfig struct {
 	// a 50 ms capture buffer, typical for a companion-computer ALSA feed).
 	FrameSeconds float64
 	// DropRate is the per-message drop probability for IMU and GPS
-	// messages, simulating a lossy telemetry link. 0 disables.
+	// messages, simulating a lossy telemetry link. 0 disables. Drops are
+	// injected through a chaos.Injector built from Seed — the same code
+	// path the chaos soak uses — not a bespoke replay-only RNG.
 	DropRate float64
 	// AudioDropRate is the per-frame drop probability for audio frames,
 	// creating dropouts the engine must gap-fill over. 0 disables.
 	AudioDropRate float64
-	// Seed drives the drop injection (deterministic for a given seed).
+	// Seed drives the fault injection (deterministic for a given seed).
 	Seed int64
+	// Chaos, when set, is the full fault schedule to replay through —
+	// corruption, freeze, skew, reordering, everything the chaos package
+	// offers. DropRate/AudioDropRate are folded into it as per-topic drop
+	// rates (explicit PerTopic entries in Chaos win), and a zero
+	// Chaos.Seed inherits Seed.
+	Chaos *chaos.Config
 	// AudioTopic, IMUTopic, GPSTopic override the default topic names.
 	AudioTopic string
 	IMUTopic   string
 	GPSTopic   string
+}
+
+// injector builds the replay's fault schedule: the shared chaos types,
+// seeded from the config, with the legacy drop-rate knobs folded in as
+// per-topic drop rates.
+func (c ReplayConfig) injector() *chaos.Injector {
+	var ccfg chaos.Config
+	if c.Chaos != nil {
+		ccfg = *c.Chaos
+	}
+	if ccfg.Seed == 0 {
+		ccfg.Seed = c.Seed
+	}
+	perTopic := make(map[string]chaos.Rates, len(ccfg.PerTopic)+3)
+	if c.AudioDropRate > 0 {
+		perTopic[c.AudioTopic] = chaos.Rates{Drop: c.AudioDropRate}
+	}
+	if c.DropRate > 0 {
+		perTopic[c.IMUTopic] = chaos.Rates{Drop: c.DropRate}
+		perTopic[c.GPSTopic] = chaos.Rates{Drop: c.DropRate}
+	}
+	for t, r := range ccfg.PerTopic {
+		perTopic[t] = r
+	}
+	ccfg.PerTopic = perTopic
+	return chaos.NewInjector(ccfg, CorruptPayload)
 }
 
 func (c ReplayConfig) withDefaults() ReplayConfig {
@@ -108,7 +142,8 @@ func Replay(ctx context.Context, bus *mavbus.Bus, f *dataset.Flight, cfg ReplayC
 	}
 	sort.SliceStable(events, func(i, j int) bool { return events[i].t < events[j].t })
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	inj := cfg.injector()
+	pub := inj.Publisher(bus.Publish)
 	prev := 0.0
 	for _, ev := range events {
 		if cfg.Speed > 0 && ev.t > prev {
@@ -123,19 +158,9 @@ func Replay(ctx context.Context, bus *mavbus.Bus, f *dataset.Flight, cfg ReplayC
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		switch ev.msg.Topic {
-		case cfg.AudioTopic:
-			if cfg.AudioDropRate > 0 && rng.Float64() < cfg.AudioDropRate {
-				continue
-			}
-		default:
-			if cfg.DropRate > 0 && rng.Float64() < cfg.DropRate {
-				continue
-			}
-		}
-		if err := bus.Publish(ev.msg); err != nil {
+		if err := pub(ev.msg); err != nil {
 			return err
 		}
 	}
-	return nil
+	return inj.Flush(bus.Publish)
 }

@@ -1,8 +1,13 @@
 #!/bin/sh
 # verify.sh — the repository's full verification gate:
 #   gofmt (fail on any unformatted file), go vet, staticcheck, build,
-#   race-enabled tests (uncached: -count=1 avoids cached-test false greens).
+#   race-enabled tests (uncached: -count=1 avoids cached-test false greens),
+#   and the seeded chaos soak (scripts/chaos_smoke.sh).
 # Run from the repo root, or via `make verify`.
+#
+# `verify.sh -short` skips the chaos soak — it trains a model and soaks
+# the service (~minutes), so the short form keeps the edit loop fast. CI
+# runs the soak in its own job (under -race) and the short gate here.
 #
 # staticcheck is enforced when the binary is present (and always in CI,
 # where the workflow installs it); locally it downgrades to a warning so
@@ -10,6 +15,17 @@
 set -eu
 
 cd "$(dirname "$0")/.."
+
+short=0
+for arg in "$@"; do
+    case "$arg" in
+    -short) short=1 ;;
+    *)
+        echo "usage: verify.sh [-short]" >&2
+        exit 2
+        ;;
+    esac
+done
 
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
@@ -37,5 +53,12 @@ go build ./...
 
 echo "== go test -race -count=1 =="
 go test -race -count=1 ./...
+
+if [ "$short" -eq 1 ]; then
+    echo "== chaos smoke (skipped: -short) =="
+else
+    echo "== chaos smoke =="
+    sh scripts/chaos_smoke.sh
+fi
 
 echo "verify: OK"
