@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json cover verify verify-short staticcheck fmt live-smoke serve-smoke chaos-smoke
+.PHONY: build test race bench bench-json cover verify verify-short staticcheck fmt live-smoke serve-smoke chaos-smoke sweep-smoke
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,14 @@ serve-smoke:
 # through without losing an acknowledged chunk.
 chaos-smoke:
 	sh scripts/chaos_smoke.sh
+
+# sweep-smoke drives the sweep grid runner against a live `soundboost
+# serve` instance: the same 3x3 sweep (attack families x chunk sizes,
+# seed 42) runs twice over real HTTP, must be byte-identical, and its
+# rollup must match a pinned confusion matrix — the CI gate on
+# detection accuracy.
+sweep-smoke:
+	sh scripts/sweep_smoke.sh
 
 fmt:
 	gofmt -w .

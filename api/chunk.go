@@ -2,6 +2,7 @@ package api
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"soundboost/internal/dataset"
@@ -33,18 +34,25 @@ func ChunkFlight(f *dataset.Flight, frameSeconds, chunkSeconds float64) ([]Frame
 		frameSeconds = 0.05
 	}
 	rate := f.Audio.SampleRate
-	frameN := int(frameSeconds * rate)
-	if frameN < 1 {
-		frameN = 1
-	}
+	// Shared with stream.Replay: both must cut identical frames (rounded,
+	// not truncated) or the replay-identical guarantee breaks.
+	frameN := stream.FrameLen(frameSeconds, rate)
 	total := f.Audio.Samples()
 	duration := float64(total) / rate
 	if n := len(f.Telemetry); n > 0 && f.Telemetry[n-1].Time > duration {
 		duration = f.Telemetry[n-1].Time
 	}
-	nChunks := int(duration/chunkSeconds) + 1
+	// Exactly ceil(duration/chunkSeconds) requests of chunkSeconds each.
+	// The former int(duration/chunkSeconds)+1 over-counted whenever the
+	// duration was an exact multiple of the chunk size, and slicing the
+	// duration evenly across that count produced chunks narrower than the
+	// caller asked for.
+	nChunks := int(math.Ceil(duration / chunkSeconds))
+	if nChunks < 1 {
+		nChunks = 1
+	}
 	sliceAt := func(tm float64) int {
-		i := int(tm / (duration + 1e-9) * float64(nChunks))
+		i := int(tm / chunkSeconds)
 		if i < 0 {
 			i = 0
 		}

@@ -7,6 +7,7 @@ import (
 	"soundboost/internal/acoustics"
 	"soundboost/internal/dataset"
 	"soundboost/internal/faults"
+	"soundboost/internal/stream"
 )
 
 // tinyFlight builds the smallest flight worth chunking: one second of
@@ -38,6 +39,81 @@ func TestChunkFlightTypedErrors(t *testing.T) {
 	for _, bad := range []float64{0, -1} {
 		if _, err := ChunkFlight(f, 0.05, bad); !errors.Is(err, faults.ErrBadChunk) {
 			t.Errorf("chunkSeconds = %v: err = %v, want ErrBadChunk", bad, err)
+		}
+	}
+}
+
+// TestChunkFlightFrameRounding pins the frame-length fix: the per-frame
+// sample count must be the *rounded* frameSeconds×rate product. At 100 Hz
+// a 0.29 s frame is 28.999999999999996 samples in float64; truncation cut
+// 28-sample frames, silently shifting every frame boundary after the
+// first relative to stream.Replay's intent. Both sides now share
+// stream.FrameLen, which this test also pins directly.
+func TestChunkFlightFrameRounding(t *testing.T) {
+	if got := stream.FrameLen(0.29, 100); got != 29 {
+		t.Fatalf("stream.FrameLen(0.29, 100) = %d, want 29", got)
+	}
+	if got := stream.FrameLen(0.0001, 100); got != 1 {
+		t.Fatalf("stream.FrameLen floor: got %d, want 1", got)
+	}
+	reqs, err := ChunkFlight(tinyFlight(), 0.29, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames []AudioFrame
+	for _, r := range reqs {
+		frames = append(frames, r.Audio...)
+	}
+	// 100 samples in 29-sample frames: 29, 29, 29, 13.
+	if len(frames) != 4 {
+		t.Fatalf("got %d frames, want 4", len(frames))
+	}
+	for i, f := range frames {
+		want := 29
+		if i == len(frames)-1 {
+			want = 100 - 3*29
+		}
+		if got := len(f.Samples[0]); got != want {
+			t.Errorf("frame %d: %d samples, want %d", i, got, want)
+		}
+	}
+}
+
+// TestChunkFlightExactMultiple pins the chunk-count fix: a flight whose
+// duration is an exact multiple of chunkSeconds must produce exactly
+// duration/chunkSeconds requests, each spanning the requested chunk
+// length. The former int(duration/chunkSeconds)+1 produced one request
+// too many and divided the timeline into narrower slices than asked for.
+func TestChunkFlightExactMultiple(t *testing.T) {
+	f := tinyFlight() // 1 s of audio @ 100 Hz, telemetry every 0.1 s
+	for _, tc := range []struct {
+		chunkSec float64
+		want     int
+	}{
+		{0.5, 2},
+		{0.25, 4},
+		{1, 1},
+	} {
+		reqs, err := ChunkFlight(f, 0.05, tc.chunkSec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reqs) != tc.want {
+			t.Errorf("chunkSeconds=%v: %d requests, want %d", tc.chunkSec, len(reqs), tc.want)
+		}
+		// No request may be empty, and together they must carry the whole
+		// flight: 20 audio frames and 10 telemetry rows.
+		audio, imu := 0, 0
+		for i, r := range reqs {
+			if len(r.Audio) == 0 && len(r.IMU) == 0 && len(r.GPS) == 0 {
+				t.Errorf("chunkSeconds=%v: request %d is empty", tc.chunkSec, i)
+			}
+			audio += len(r.Audio)
+			imu += len(r.IMU)
+		}
+		if audio != 20 || imu != 10 {
+			t.Errorf("chunkSeconds=%v: carried %d audio frames and %d IMU rows, want 20 and 10",
+				tc.chunkSec, audio, imu)
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"soundboost/api"
 	"soundboost/internal/chaos"
 	"soundboost/internal/dataset"
+	"soundboost/internal/httpretry"
 	"soundboost/internal/leakcheck"
 	"soundboost/internal/obs"
 	"soundboost/internal/server"
@@ -323,15 +324,15 @@ func runChaosProfile(base string, flight *dataset.Flight, p *chaosProfile, idx i
 	// Generous retry budget: the hostile-http profile must converge, and
 	// determinism cannot depend on how many times it has to try. Sleeps
 	// are disabled — backoff is counted by the PRNG, not waited out.
-	client := newRetryClient(hc, 20, time.Millisecond, int64(idx)+1)
-	client.sleep = noSleep
+	client := httpretry.New(hc, 20, time.Millisecond, int64(idx)+1)
+	client.Sleep = noSleep
 	// Status polls bypass the fault schedule: their count depends on
 	// engine drain timing, and nondeterministic poll traffic would drag
 	// the transport's PRNG — and its injected counts — along with it.
 	// Faults hit the data path (create + frames + report), where they
 	// prove something.
-	poll := newRetryClient(http.DefaultClient, 20, time.Millisecond, int64(idx)+101)
-	poll.sleep = noSleep
+	poll := httpretry.New(http.DefaultClient, 20, time.Millisecond, int64(idx)+101)
+	poll.Sleep = noSleep
 
 	outcome, err := driveChaosSession(client, poll, base, flight, label, chunkSec, p)
 	if err != nil {
@@ -442,7 +443,7 @@ type sessionOutcome struct {
 // driveChaosSession streams the flight through one chaos session and
 // waits for a terminal state. client (possibly riding a chaos transport)
 // carries the data path; poll is a clean client for status waiting.
-func driveChaosSession(client, poll *retryClient, base string, flight *dataset.Flight, label string, chunkSec float64, p *chaosProfile) (sessionOutcome, error) {
+func driveChaosSession(client, poll *httpretry.Client, base string, flight *dataset.Flight, label string, chunkSec float64, p *chaosProfile) (sessionOutcome, error) {
 	var out sessionOutcome
 	var created api.SessionResponse
 	body, err := json.Marshal(api.SessionRequest{
@@ -453,7 +454,7 @@ func driveChaosSession(client, poll *retryClient, base string, flight *dataset.F
 	if err != nil {
 		return out, err
 	}
-	if err := client.do("POST", base+"/v1/sessions", body, &created); err != nil {
+	if err := client.Do("POST", base+"/v1/sessions", body, &created); err != nil {
 		return out, err
 	}
 	sessURL := base + "/v1/sessions/" + created.ID
@@ -471,7 +472,7 @@ func driveChaosSession(client, poll *retryClient, base string, flight *dataset.F
 			return out, err
 		}
 		var resp api.FramesResponse
-		if err := client.do("POST", sessURL+"/frames", raw, &resp); err != nil {
+		if err := client.Do("POST", sessURL+"/frames", raw, &resp); err != nil {
 			if p.expectFailed {
 				break // the poisoned engine died under us — expected
 			}
@@ -484,7 +485,7 @@ func driveChaosSession(client, poll *retryClient, base string, flight *dataset.F
 	var status api.SessionStatus
 	deadline := time.Now().Add(60 * time.Second)
 	for {
-		if err := poll.do("GET", sessURL+"/status", nil, &status); err != nil {
+		if err := poll.Do("GET", sessURL+"/status", nil, &status); err != nil {
 			return out, err
 		}
 		if status.State == api.SessionDone || status.State == api.SessionFailed {
@@ -500,7 +501,7 @@ func driveChaosSession(client, poll *retryClient, base string, flight *dataset.F
 	out.shed = status.Shed
 	if status.State == api.SessionDone {
 		var report api.Report
-		if err := client.do("GET", sessURL+"/report", nil, &report); err != nil {
+		if err := client.Do("GET", sessURL+"/report", nil, &report); err != nil {
 			return out, err
 		}
 		report.Flight = "" // per-profile label; the comparison is on the analysis

@@ -37,6 +37,16 @@
 //
 //	soundboost chaos -analyzer analyzer.json -flight incident.sbf -seed 42
 //
+// Sweep a parameter grid — detector margins and KF variants, chunk and
+// frame sizes, attack families and intensities — through live streaming
+// sessions, emitting schema-versioned JSONL records, a CSV summary, and
+// a confusion-matrix/ROC rollup. Self-hosted by default (one in-process
+// server per derived analyzer); -addr targets a running serve instance
+// instead. A fixed -seed makes the whole sweep byte-identical:
+//
+//	soundboost sweep -analyzer analyzer.json -margins 1.0,1.1,1.3 -attacks benign,gps-drift -jsonl sweep.jsonl
+//	soundboost sweep -addr http://127.0.0.1:8713 -chunks 1,2,4 -attacks benign,gps-drift,imu-dos
+//
 // Every subcommand accepts -debug-addr to enable the observability
 // layer and serve live pipeline metrics (/debug/metrics) and pprof
 // (/debug/pprof/) while it runs:
@@ -70,7 +80,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: soundboost <train|calibrate|rca|live|serve|push|chaos> [flags]")
+		return fmt.Errorf("usage: soundboost <train|calibrate|rca|live|serve|push|chaos|sweep> [flags]")
 	}
 	switch args[0] {
 	case "train":
@@ -87,8 +97,10 @@ func run(args []string) error {
 		return runPush(args[1:])
 	case "chaos":
 		return runChaos(args[1:])
+	case "sweep":
+		return runSweep(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want train, calibrate, rca, live, serve, push or chaos)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want train, calibrate, rca, live, serve, push, chaos or sweep)", args[0])
 	}
 }
 

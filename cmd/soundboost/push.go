@@ -10,6 +10,7 @@ import (
 
 	"soundboost/api"
 	"soundboost/internal/dataset"
+	"soundboost/internal/httpretry"
 )
 
 // runPush is the client side of `soundboost serve`: it sends a recorded
@@ -53,8 +54,8 @@ func runPush(args []string) error {
 		return err
 	}
 	base := strings.TrimRight(*addr, "/")
-	client := newRetryClient(nil, *retries, *retryBase, time.Now().UnixNano())
-	client.logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	client := httpretry.New(nil, *retries, *retryBase, time.Now().UnixNano())
+	client.Logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
 
 	var wire api.Report
 	switch *mode {
@@ -82,13 +83,13 @@ func runPush(args []string) error {
 
 // pushBatch uploads the raw .sbf file for one-shot batch RCA. The file
 // is read into memory so a retried upload resends identical bytes.
-func pushBatch(client *retryClient, base, path string) (api.Report, error) {
+func pushBatch(client *httpretry.Client, base, path string) (api.Report, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return api.Report{}, err
 	}
 	var out api.FlightResponse
-	if err := client.do("POST", base+"/v1/flights", raw, &out); err != nil {
+	if err := client.Do("POST", base+"/v1/flights", raw, &out); err != nil {
 		return api.Report{}, err
 	}
 	fmt.Fprintf(os.Stderr, "batch analysis took %.2f s server-side\n", out.ElapsedSeconds)
@@ -106,7 +107,7 @@ func flightDuration(f *dataset.Flight) float64 {
 
 // pushSession streams the flight through a session: create, feed
 // sequence-numbered frame batches, read the final report.
-func pushSession(client *retryClient, base string, flight *dataset.Flight, frameSec, chunkSec float64, buffer int) (api.Report, error) {
+func pushSession(client *httpretry.Client, base string, flight *dataset.Flight, frameSec, chunkSec float64, buffer int) (api.Report, error) {
 	var created api.SessionResponse
 	body, err := json.Marshal(api.SessionRequest{
 		Flight:       flight.Name,
@@ -116,7 +117,7 @@ func pushSession(client *retryClient, base string, flight *dataset.Flight, frame
 	if err != nil {
 		return api.Report{}, err
 	}
-	if err := client.do("POST", base+"/v1/sessions", body, &created); err != nil {
+	if err := client.Do("POST", base+"/v1/sessions", body, &created); err != nil {
 		return api.Report{}, err
 	}
 	fmt.Fprintf(os.Stderr, "session %s open\n", created.ID)
@@ -138,7 +139,7 @@ func pushSession(client *retryClient, base string, flight *dataset.Flight, frame
 			return api.Report{}, err
 		}
 		var resp api.FramesResponse
-		if err := client.do("POST", sessURL+"/frames", raw, &resp); err != nil {
+		if err := client.Do("POST", sessURL+"/frames", raw, &resp); err != nil {
 			return api.Report{}, fmt.Errorf("frames %d/%d: %w", i+1, len(reqs), err)
 		}
 		total += resp.Accepted
@@ -154,7 +155,7 @@ func pushSession(client *retryClient, base string, flight *dataset.Flight, frame
 	}
 	fmt.Fprintf(os.Stderr, "streamed %d messages in %d requests; waiting for verdict\n", total, len(reqs))
 	var report api.Report
-	if err := client.do("GET", sessURL+"/report", nil, &report); err != nil {
+	if err := client.Do("GET", sessURL+"/report", nil, &report); err != nil {
 		return api.Report{}, err
 	}
 	return report, nil

@@ -264,6 +264,25 @@ func NewGPSDetector(model *AcousticModel, benignFlights []*dataset.Flight, cfg G
 // Threshold returns the calibrated alarm threshold.
 func (d *GPSDetector) Threshold() float64 { return d.threshold }
 
+// WithMargin returns a copy of the detector operating at a different
+// threshold margin, re-derived exactly from the calibrated base: the
+// threshold is benign-quantile × margin, so rescaling by
+// margin/cfg.ThresholdMargin reproduces what a fresh calibration at the
+// new margin would have produced — without re-running the benign
+// flights. Sweeps use it to walk an operating curve from one
+// calibration. margin must be positive (margins below 1 deliberately
+// trade false positives for detection latency; NewGPSDetector clamps
+// them, WithMargin does not).
+func (d *GPSDetector) WithMargin(margin float64) (*GPSDetector, error) {
+	if margin <= 0 {
+		return nil, fmt.Errorf("soundboost: WithMargin: margin must be positive, got %g", margin)
+	}
+	d2 := *d
+	d2.threshold = d.threshold / d.cfg.ThresholdMargin * margin
+	d2.cfg.ThresholdMargin = margin
+	return &d2, nil
+}
+
 // Config returns the detector's configuration (after calibration-time
 // normalisation). The streaming engine mirrors the batch detector from it.
 func (d *GPSDetector) Config() GPSDetectorConfig { return d.cfg }

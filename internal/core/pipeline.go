@@ -136,6 +136,34 @@ func NewAnalyzer(model *AcousticModel, benignFlights []*dataset.Flight, opts ...
 	return &Analyzer{Model: model, IMU: imu, GPSAudioOnly: audioOnly, GPSAudioIMU: audioIMU}, nil
 }
 
+// WithGPSMargin returns a shallow copy of the analyzer whose GPS
+// detector for the named KF variant runs at a different threshold
+// margin (see GPSDetector.WithMargin — the rescale is exact, no
+// recalibration). The other variant, the IMU detector, and the model
+// are shared with the receiver, which stays usable unchanged. Sweeps
+// derive one analyzer per (variant, margin) grid cell this way.
+func (a *Analyzer) WithGPSMargin(mode kalman.Mode, margin float64) (*Analyzer, error) {
+	clone := *a
+	switch mode {
+	case kalman.ModeAudioOnly:
+		d, err := a.GPSAudioOnly.WithMargin(margin)
+		if err != nil {
+			return nil, err
+		}
+		clone.GPSAudioOnly = d
+	case kalman.ModeAudioIMU:
+		d, err := a.GPSAudioIMU.WithMargin(margin)
+		if err != nil {
+			return nil, err
+		}
+		clone.GPSAudioIMU = d
+	default:
+		return nil, fmt.Errorf("soundboost: WithGPSMargin: KF variant must be %q or %q, got %q",
+			kalman.ModeAudioOnly, kalman.ModeAudioIMU, mode)
+	}
+	return &clone, nil
+}
+
 // Analyze runs the full two-stage RCA over a flight. A nil or empty
 // flight returns ErrNoFlight. On a stage error the partial report still
 // carries a coherent GPSMode: the variant stage 2 would have used given

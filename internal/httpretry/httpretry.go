@@ -1,0 +1,201 @@
+// Package httpretry is the fault-tolerant JSON/HTTP client shared by
+// every CLI-side path that talks to the RCA service (push, chaos, and
+// the sweep runner): requests are retried with exponential backoff and
+// seeded jitter on transport errors and on retryable statuses (429 and
+// the gateway-ish 502/503/504), a server-supplied Retry-After overrides
+// the computed backoff, and bodies are held as []byte so every resend is
+// byte-identical. A plain 500 is never retried — the server uses it for
+// permanent outcomes (session_failed), where a retry can only waste the
+// budget.
+//
+// Retrying a frames post is safe because chunks carry sequence numbers:
+// a resend whose original ack was lost comes back Duplicate, not
+// double-published.
+package httpretry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"soundboost/api"
+)
+
+// Client retries JSON round trips against the /v1 service.
+type Client struct {
+	// Sleep waits out one backoff delay; override (e.g. with a no-op) to
+	// keep deterministic drivers wall-clock-free.
+	Sleep func(time.Duration)
+	// Logf receives one line per retry (default: silent).
+	Logf func(format string, a ...any)
+
+	hc      *http.Client
+	retries int
+	base    time.Duration
+	max     time.Duration
+	rng     *rand.Rand
+	retried atomic.Int64
+	now     func() time.Time // injectable for Retry-After date tests
+}
+
+// New builds a client retrying up to retries times with backoff starting
+// at base (jittered, capped at 30×base). seed makes the jitter sequence
+// reproducible for the deterministic drivers (chaos soak, sweeps).
+func New(hc *http.Client, retries int, base time.Duration, seed int64) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	if base <= 0 {
+		base = 200 * time.Millisecond
+	}
+	return &Client{
+		hc:      hc,
+		retries: retries,
+		base:    base,
+		max:     30 * base,
+		rng:     rand.New(rand.NewSource(seed)),
+		Sleep:   time.Sleep,
+		Logf:    func(string, ...any) {},
+		now:     time.Now,
+	}
+}
+
+// Retries returns the number of retried attempts so far — the count of
+// round trips beyond each request's first. Sweep trial records report it.
+func (c *Client) Retries() int64 { return c.retried.Load() }
+
+// retryableStatus reports whether a status is worth retrying.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// Do round-trips one JSON request with retries. body may be nil; out may
+// be nil to discard the response.
+func (c *Client) Do(method, url string, body []byte, out any) error {
+	for attempt := 0; ; attempt++ {
+		retryAfter, permanent, err := c.attempt(method, url, body, out)
+		if err == nil {
+			return nil
+		}
+		if permanent || attempt >= c.retries {
+			if attempt > 0 {
+				return fmt.Errorf("%w (after %d attempts)", err, attempt+1)
+			}
+			return err
+		}
+		// Always draw the jitter so the PRNG consumption order — and with
+		// it every seeded driver's output — does not depend on which
+		// attempts carried a Retry-After header.
+		delay := c.backoff(attempt)
+		if retryAfter >= 0 {
+			delay = retryAfter
+		}
+		c.retried.Add(1)
+		c.Logf("retry %d/%d for %s %s in %s: %v", attempt+1, c.retries, method, url, delay, err)
+		c.Sleep(delay)
+	}
+}
+
+// attempt performs one round trip. permanent reports a failure retries
+// cannot help. retryAfter is the server's Retry-After translated to a
+// wait: -1 when absent or unparseable (use the computed backoff), 0 or
+// more to honor the server's ask — an explicit `Retry-After: 0` means
+// "retry immediately", which is distinct from no header at all.
+func (c *Client) attempt(method, url string, body []byte, out any) (retryAfter time.Duration, permanent bool, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return -1, true, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return -1, false, err // transport failure: connection reset, refused, dropped response
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return -1, false, fmt.Errorf("%s: reading response: %w", url, err)
+	}
+	if resp.StatusCode/100 == 2 {
+		if out == nil {
+			return -1, true, nil
+		}
+		if err := json.Unmarshal(raw, out); err != nil {
+			return -1, true, fmt.Errorf("%s: %w", url, err)
+		}
+		return -1, true, nil
+	}
+	apiErr := api.Error{Code: fmt.Sprintf("http_%d", resp.StatusCode), Error: string(raw)}
+	var decoded api.Error
+	if json.Unmarshal(raw, &decoded) == nil && decoded.Error != "" {
+		apiErr = decoded
+	}
+	err = fmt.Errorf("%s: %s (%s)", url, apiErr.Error, apiErr.Code)
+	if !retryableStatus(resp.StatusCode) {
+		return -1, true, err
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if d, ok := parseRetryAfter(s, c.now()); ok {
+			if d > c.max {
+				d = c.max // a server may ask for minutes; the retry budget won't survive that
+			}
+			return d, false, err
+		}
+	}
+	return -1, false, err
+}
+
+// parseRetryAfter decodes both RFC 9110 forms of Retry-After: a
+// non-negative decimal count of seconds, or an HTTP-date (RFC 1123 and
+// the obsolete variants net/http accepts). A date in the past — the
+// server said "now" — and an explicit 0 both mean retry immediately.
+// Negative seconds and anything unparseable are rejected so the caller
+// falls back to computed backoff.
+func parseRetryAfter(s string, now time.Time) (time.Duration, bool) {
+	s = strings.TrimSpace(s)
+	if secs, err := strconv.Atoi(s); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(s); err == nil {
+		d := t.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
+// backoff computes the jittered exponential delay for one attempt:
+// half the window deterministic, half uniform random, capped at max.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.base << uint(attempt)
+	if d > c.max || d <= 0 {
+		d = c.max
+	}
+	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+}

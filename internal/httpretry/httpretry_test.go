@@ -1,0 +1,246 @@
+package httpretry
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"soundboost/api"
+)
+
+// sleepRecorder captures the delays a client would have waited out.
+type sleepRecorder struct{ delays []time.Duration }
+
+func (r *sleepRecorder) sleep(d time.Duration) { r.delays = append(r.delays, d) }
+
+// serveSequence returns a test server that answers each request with the
+// next scripted response, repeating the last one once the script runs
+// out.
+func serveSequence(t *testing.T, script []func(http.ResponseWriter)) (*httptest.Server, *int) {
+	t.Helper()
+	calls := new(int)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		i := *calls
+		*calls++
+		if i >= len(script) {
+			i = len(script) - 1
+		}
+		script[i](w)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, calls
+}
+
+func ok(w http.ResponseWriter) { w.Write([]byte(`{"schema_version":"v1"}`)) }
+
+func status(code int, retryAfter string) func(http.ResponseWriter) {
+	return func(w http.ResponseWriter) {
+		if retryAfter != "" {
+			w.Header().Set("Retry-After", retryAfter)
+		}
+		w.WriteHeader(code)
+		w.Write([]byte(`{"code":"capacity","error":"at capacity"}`))
+	}
+}
+
+// TestRetryAfterSeconds pins the integer form: the server's ask
+// overrides the computed backoff exactly.
+func TestRetryAfterSeconds(t *testing.T) {
+	srv, calls := serveSequence(t, []func(http.ResponseWriter){status(429, "2"), ok})
+	rec := &sleepRecorder{}
+	c := New(nil, 3, 100*time.Millisecond, 1) // cap 30×base = 3s, above the ask
+	c.Sleep = rec.sleep
+	if err := c.Do("GET", srv.URL, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if *calls != 2 {
+		t.Fatalf("server saw %d calls, want 2", *calls)
+	}
+	if len(rec.delays) != 1 || rec.delays[0] != 2*time.Second {
+		t.Fatalf("slept %v, want exactly [2s]", rec.delays)
+	}
+	if c.Retries() != 1 {
+		t.Fatalf("Retries() = %d, want 1", c.Retries())
+	}
+}
+
+// TestRetryAfterZero is the regression test for the explicit-zero hole:
+// `Retry-After: 0` means "retry immediately", but the old positive-only
+// parse dropped it to computed (nonzero, jittered) backoff.
+func TestRetryAfterZero(t *testing.T) {
+	srv, _ := serveSequence(t, []func(http.ResponseWriter){status(429, "0"), ok})
+	rec := &sleepRecorder{}
+	c := New(nil, 3, time.Second, 1) // base so large any computed backoff is >= 500ms
+	c.Sleep = rec.sleep
+	if err := c.Do("GET", srv.URL, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.delays) != 1 || rec.delays[0] != 0 {
+		t.Fatalf("slept %v, want exactly [0s] (explicit zero honored)", rec.delays)
+	}
+}
+
+// TestRetryAfterHTTPDate is the regression test for the HTTP-date form,
+// which the integer-only parse silently ignored: a future date waits
+// until that date, and a date already past means retry immediately.
+func TestRetryAfterHTTPDate(t *testing.T) {
+	now := time.Now()
+	t.Run("future", func(t *testing.T) {
+		date := now.Add(3 * time.Second).UTC().Format(http.TimeFormat)
+		srv, _ := serveSequence(t, []func(http.ResponseWriter){status(503, date), ok})
+		rec := &sleepRecorder{}
+		c := New(nil, 3, 200*time.Millisecond, 1) // cap 6s, above the ~3s ask
+		c.Sleep = rec.sleep
+		c.now = func() time.Time { return now }
+		if err := c.Do("GET", srv.URL, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.delays) != 1 {
+			t.Fatalf("slept %v, want one delay", rec.delays)
+		}
+		// The date format has 1 s resolution, so the wait lands in (2, 3].
+		if d := rec.delays[0]; d <= 2*time.Second || d > 3*time.Second {
+			t.Fatalf("slept %v, want ~3s from the HTTP-date", d)
+		}
+	})
+	t.Run("past", func(t *testing.T) {
+		date := now.Add(-time.Hour).UTC().Format(http.TimeFormat)
+		srv, _ := serveSequence(t, []func(http.ResponseWriter){status(503, date), ok})
+		rec := &sleepRecorder{}
+		c := New(nil, 3, time.Second, 1)
+		c.Sleep = rec.sleep
+		c.now = func() time.Time { return now }
+		if err := c.Do("GET", srv.URL, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.delays) != 1 || rec.delays[0] != 0 {
+			t.Fatalf("slept %v, want [0s] (past date = retry now)", rec.delays)
+		}
+	})
+}
+
+// TestRetryAfterClamped bounds a hostile or misconfigured server: an ask
+// far beyond the client's own backoff cap is clamped to it.
+func TestRetryAfterClamped(t *testing.T) {
+	srv, _ := serveSequence(t, []func(http.ResponseWriter){status(429, "3600"), ok})
+	rec := &sleepRecorder{}
+	c := New(nil, 3, 100*time.Millisecond, 1) // cap = 30×base = 3s
+	c.Sleep = rec.sleep
+	if err := c.Do("GET", srv.URL, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.delays) != 1 || rec.delays[0] != 3*time.Second {
+		t.Fatalf("slept %v, want [3s] (clamped to 30×base)", rec.delays)
+	}
+}
+
+// TestRetryAfterGarbage keeps the fallback: unparseable or negative
+// values mean computed backoff, never a panic or a zero-delay spin.
+func TestRetryAfterGarbage(t *testing.T) {
+	for _, bad := range []string{"soon", "-5", "1.5"} {
+		srv, _ := serveSequence(t, []func(http.ResponseWriter){status(429, bad), ok})
+		rec := &sleepRecorder{}
+		c := New(nil, 3, 10*time.Millisecond, 1)
+		c.Sleep = rec.sleep
+		if err := c.Do("GET", srv.URL, nil, nil); err != nil {
+			t.Fatalf("Retry-After %q: %v", bad, err)
+		}
+		if len(rec.delays) != 1 || rec.delays[0] < 5*time.Millisecond {
+			t.Fatalf("Retry-After %q: slept %v, want computed backoff >= base/2", bad, rec.delays)
+		}
+	}
+}
+
+// TestParseRetryAfter covers the parser table directly.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"7", 7 * time.Second, true},
+		{" 7 ", 7 * time.Second, true},
+		{"0", 0, true},
+		{"-1", 0, false},
+		{"1.5", 0, false},
+		{"soon", 0, false},
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second, true},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0, true},
+	}
+	for _, tc := range cases {
+		got, ok := parseRetryAfter(tc.in, now)
+		if ok != tc.ok || got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = (%v, %v), want (%v, %v)", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestPermanentStatusNotRetried keeps the permanent-failure contract: a
+// plain 500 (session_failed and friends) must fail fast.
+func TestPermanentStatusNotRetried(t *testing.T) {
+	srv, calls := serveSequence(t, []func(http.ResponseWriter){
+		func(w http.ResponseWriter) {
+			w.WriteHeader(500)
+			w.Write([]byte(`{"code":"session_failed","error":"engine died"}`))
+		},
+	})
+	c := New(nil, 5, time.Millisecond, 1)
+	c.Sleep = func(time.Duration) {}
+	err := c.Do("GET", srv.URL, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "session_failed") {
+		t.Fatalf("err = %v, want session_failed", err)
+	}
+	if *calls != 1 {
+		t.Fatalf("server saw %d calls, want 1 (500 is permanent)", *calls)
+	}
+	if c.Retries() != 0 {
+		t.Fatalf("Retries() = %d, want 0", c.Retries())
+	}
+}
+
+// TestRetryBudgetExhausted surfaces the attempt count in the error.
+func TestRetryBudgetExhausted(t *testing.T) {
+	srv, calls := serveSequence(t, []func(http.ResponseWriter){status(503, "")})
+	c := New(nil, 2, time.Millisecond, 1)
+	c.Sleep = func(time.Duration) {}
+	err := c.Do("GET", srv.URL, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("err = %v, want the attempt count", err)
+	}
+	if *calls != 3 {
+		t.Fatalf("server saw %d calls, want 3", *calls)
+	}
+	if c.Retries() != 2 {
+		t.Fatalf("Retries() = %d, want 2", c.Retries())
+	}
+}
+
+// TestDoDecodesInto checks the happy path decodes the response body.
+func TestDoDecodesInto(t *testing.T) {
+	srv, _ := serveSequence(t, []func(http.ResponseWriter){ok})
+	c := New(nil, 0, time.Millisecond, 1)
+	var h api.Health
+	if err := c.Do("GET", srv.URL, nil, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.SchemaVersion != "v1" {
+		t.Fatalf("decoded schema_version %q, want v1", h.SchemaVersion)
+	}
+}
+
+// TestTransportErrorRetried covers connection-level failures: they are
+// retryable (the service may be restarting under the client).
+func TestTransportErrorRetried(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) { ok(w) }))
+	url := srv.URL
+	srv.Close() // connection refused from here on
+	c := New(nil, 1, time.Millisecond, 1)
+	c.Sleep = func(time.Duration) {}
+	err := c.Do("GET", url, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "after 2 attempts") {
+		t.Fatalf("err = %v, want transport failure after 2 attempts", err)
+	}
+}

@@ -1,0 +1,28 @@
+package server
+
+import "testing"
+
+// TestLabelGroup pins the flight-label → metric-group mapping: the
+// prefix before the first "/" when present, "default" for empty labels,
+// and separator characters flattened so registry names stay clean.
+func TestLabelGroup(t *testing.T) {
+	cases := []struct {
+		flight string
+		want   string
+	}{
+		{"sweep/trial-0042", "sweep"},
+		{"sweep/kf=audio-only/m=1.1", "sweep"},
+		{"chaos-00-control", "chaos-00-control"},
+		{"hover_b01", "hover_b01"},
+		{"", "default"},
+		{"   ", "default"},
+		{"/anonymous", "default"},
+		{"weird label/x", "weird_label"},
+		{"dots.and:colons", "dots_and_colons"},
+	}
+	for _, c := range cases {
+		if got := labelGroup(c.flight); got != c.want {
+			t.Errorf("labelGroup(%q) = %q, want %q", c.flight, got, c.want)
+		}
+	}
+}

@@ -362,6 +362,7 @@ func (s *Server) createSession(req api.SessionRequest) (*session, error) {
 	s.mu.Unlock()
 
 	sessionsOpened.Inc()
+	sessionsOpenedByGroup(req.Flight).Inc()
 	sess.persistMeta()
 	go func() {
 		defer s.wg.Done()

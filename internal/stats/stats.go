@@ -174,14 +174,16 @@ func Max(x []float64) float64 {
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) of x by linear
-// interpolation of the sorted samples. NaN samples are ignored — a lossy
-// telemetry stream must not be able to poison a calibrated threshold —
-// and a single-element input returns that element for every q. Returns 0
-// when no finite-comparable samples remain.
+// interpolation of the sorted samples. Non-finite samples (NaN, ±Inf)
+// are ignored — a lossy telemetry stream must not be able to poison a
+// calibrated threshold, and a single +Inf would otherwise bleed into
+// every interpolated quantile, not just q=1 — and a single-element input
+// returns that element for every q. Returns 0 when no finite samples
+// remain.
 func Quantile(x []float64, q float64) float64 {
 	sorted := make([]float64, 0, len(x))
 	for _, v := range x {
-		if !math.IsNaN(v) {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
 			sorted = append(sorted, v)
 		}
 	}
@@ -217,13 +219,14 @@ type RunningMean struct {
 	count int
 }
 
-// Add feeds a sample and returns the updated mean. NaN samples are
-// ignored (returning the current mean unchanged): one corrupt telemetry
-// row must not poison the monitor for the rest of the stream. After
-// Reset the next sample re-seeds the mean exactly as the first ever
-// sample did.
+// Add feeds a sample and returns the updated mean. Non-finite samples
+// (NaN, ±Inf) are ignored (returning the current mean unchanged): one
+// corrupt telemetry row must not poison the monitor for the rest of the
+// stream — an Inf would stick in the mean forever, which NaN-only
+// filtering missed. After Reset the next sample re-seeds the mean
+// exactly as the first ever sample did.
 func (r *RunningMean) Add(v float64) float64 {
-	if math.IsNaN(v) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
 		return r.mean
 	}
 	r.count++

@@ -224,6 +224,61 @@ func TestQuantileEdgeCases(t *testing.T) {
 	}
 }
 
+// TestQuantileIgnoresInf is the regression test for the ±Inf hole: NaN
+// was filtered but an infinite sample survived into the sort, where it
+// poisons every interpolated quantile (lo*(1-f) + Inf*f = ±Inf), and
+// through Quantile every calibrated detection threshold. Non-finite
+// samples must all be treated alike: skipped.
+func TestQuantileIgnoresInf(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		x    []float64
+		q    float64
+		want float64
+	}{
+		{"+Inf ignored at q=1", []float64{1, 3, inf}, 1, 3},
+		{"+Inf ignored interpolating", []float64{1, 3, inf}, 0.75, 2.5},
+		{"-Inf ignored at q=0", []float64{-inf, 1, 3}, 0, 1},
+		{"-Inf ignored interpolating", []float64{-inf, 1, 3}, 0.25, 1.5},
+		{"mixed Inf and NaN", []float64{inf, math.NaN(), 5, -inf}, 0.5, 5},
+		{"all non-finite", []float64{inf, -inf, math.NaN()}, 0.5, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Quantile(tc.x, tc.q)
+			if math.IsNaN(got) || math.IsInf(got, 0) || math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Quantile(%v, %v) = %v, want %v", tc.x, tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunningMeanIgnoresInf pins the same hole in the streaming monitor:
+// one Inf sample would stick in the running mean forever (Inf enters
+// both the cumulative and exponential recursions and never washes out),
+// permanently alarming the GPS error monitor.
+func TestRunningMeanIgnoresInf(t *testing.T) {
+	inf := math.Inf(1)
+	for _, alpha := range []float64{0, 0.5} {
+		r := RunningMean{Alpha: alpha}
+		r.Add(2)
+		r.Add(inf)
+		r.Add(-inf)
+		if got := r.Mean(); got != 2 {
+			t.Errorf("alpha=%v: Mean after Inf = %v, want 2 (Inf ignored)", alpha, got)
+		}
+		if got := r.Count(); got != 1 {
+			t.Errorf("alpha=%v: Count after Inf = %d, want 1", alpha, got)
+		}
+		// The monitor must keep tracking finite samples afterwards.
+		r.Add(4)
+		if got := r.Mean(); got != 3 {
+			t.Errorf("alpha=%v: Mean after recovery = %v, want 3", alpha, got)
+		}
+	}
+}
+
 // TestRunningMeanEdgeCases covers NaN rejection and Add-after-Reset for
 // both the cumulative and exponential variants.
 func TestRunningMeanEdgeCases(t *testing.T) {

@@ -3,6 +3,7 @@ package stream
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -11,6 +12,22 @@ import (
 	"soundboost/internal/dataset"
 	"soundboost/internal/mavbus"
 )
+
+// FrameLen is the per-frame sample count for a frame length in seconds
+// at an audio sample rate: the nearest integer, minimum 1. Rounding
+// matters — truncation drops a sample per frame whenever the product
+// lands just under an integer in float64 (0.29 s at 100 Hz is
+// 28.999999999999996), which skews every frame boundary after the
+// first. Replay and api.ChunkFlight both cut frames with it, keeping
+// the replay-identical guarantee: a chunked upload reproduces the
+// replayed stream exactly.
+func FrameLen(frameSeconds, rate float64) int {
+	n := int(math.Round(frameSeconds * rate))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
 
 // ReplayConfig tunes dataset replay onto a bus.
 type ReplayConfig struct {
@@ -103,10 +120,7 @@ func Replay(ctx context.Context, bus *mavbus.Bus, f *dataset.Flight, cfg ReplayC
 	}
 	cfg = cfg.withDefaults()
 	rate := f.Audio.SampleRate
-	frameN := int(cfg.FrameSeconds * rate)
-	if frameN < 1 {
-		frameN = 1
-	}
+	frameN := FrameLen(cfg.FrameSeconds, rate)
 
 	var events []replayEvent
 	total := f.Audio.Samples()

@@ -1,0 +1,40 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseFloats parses one comma-separated grid axis ("1, 2,4") into its
+// values. Whitespace around tokens is trimmed and empty tokens are
+// ignored (so trailing commas are harmless); any non-numeric token
+// fails immediately with the axis name in the error.
+func ParseFloats(name, s string) ([]float64, error) {
+	var out []float64
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %s: bad grid value %q", name, tok)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseStrings splits a comma-separated axis into trimmed, non-empty
+// tokens.
+func ParseStrings(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package sweep
+
+import (
+	"soundboost/internal/stats"
+)
+
+// Confusion is a serializable confusion matrix with its derived rates.
+type Confusion struct {
+	TP int `json:"tp"`
+	FP int `json:"fp"`
+	TN int `json:"tn"`
+	FN int `json:"fn"`
+	// TPR / FPR are the detection and false-alarm rates (0 when the
+	// corresponding class is absent).
+	TPR float64 `json:"tpr"`
+	FPR float64 `json:"fpr"`
+}
+
+func confusionFrom(c stats.ConfusionCounts) Confusion {
+	return Confusion{TP: c.TP, FP: c.FP, TN: c.TN, FN: c.FN, TPR: c.TPR(), FPR: c.FPR()}
+}
+
+// Attribution scores strict root-cause agreement over trials.
+type Attribution struct {
+	Correct  int     `json:"correct"`
+	Total    int     `json:"total"`
+	Accuracy float64 `json:"accuracy"`
+}
+
+// Rollup aggregates a sweep's records. It reports detection two ways
+// because the grid reuses flights across cells:
+//
+//   - Pooled counts every (flight, cell) trial. It shows how accuracy
+//     moves across the grid, but its sample size is inflated — the
+//     same synthesized flight is scored once per detector/transport
+//     cell, and those outcomes are strongly correlated.
+//   - SessionDisjoint counts each distinct flight exactly once (its
+//     first trial in grid order), so no flight contributes more than
+//     one outcome. This is the honest sample size; quoting pooled
+//     rates as if trials were independent is the leakage mistake the
+//     split exists to guard against.
+//
+// GPSAUC integrates the ROC of the GPS stage's peak-error score over
+// the session-disjoint benign vs GPS-attack flights (IMU-attack
+// flights are excluded: peak error is not their detection score). It
+// is 0 when either class is absent.
+type Rollup struct {
+	SchemaVersion string `json:"schema_version"`
+	Trials        int    `json:"trials"`
+	// Flights counts the distinct synthesized flights behind the
+	// trials.
+	Flights         int         `json:"flights"`
+	Pooled          Confusion   `json:"pooled"`
+	SessionDisjoint Confusion   `json:"session_disjoint"`
+	Attribution     Attribution `json:"attribution"`
+	GPSAUC          float64     `json:"gps_auc"`
+}
+
+// BuildRollup folds records (in grid order) into the sweep summary.
+func BuildRollup(records []Record) Rollup {
+	var pooled, disjoint stats.ConfusionCounts
+	seen := map[string]bool{}
+	correct := 0
+	var benignPeaks, gpsPeaks []float64
+	for i := range records {
+		r := &records[i]
+		alerted := r.Verdict.Cause != "" && r.Verdict.Cause != "none"
+		pooled.Record(r.Truth.Attack, alerted)
+		if r.Correct {
+			correct++
+		}
+		if seen[r.Flight] {
+			continue
+		}
+		seen[r.Flight] = true
+		disjoint.Record(r.Truth.Attack, alerted)
+		switch truthFamily(r.Truth.Kind) {
+		case "none":
+			benignPeaks = append(benignPeaks, r.Verdict.PeakError)
+		case "gps":
+			gpsPeaks = append(gpsPeaks, r.Verdict.PeakError)
+		}
+	}
+	roll := Rollup{
+		SchemaVersion:   SchemaVersion,
+		Trials:          len(records),
+		Flights:         len(seen),
+		Pooled:          confusionFrom(pooled),
+		SessionDisjoint: confusionFrom(disjoint),
+		Attribution:     Attribution{Correct: correct, Total: len(records)},
+	}
+	if roll.Attribution.Total > 0 {
+		roll.Attribution.Accuracy = float64(correct) / float64(roll.Attribution.Total)
+	}
+	if len(benignPeaks) > 0 && len(gpsPeaks) > 0 {
+		roll.GPSAUC = stats.AUC(stats.ROC(benignPeaks, gpsPeaks))
+	}
+	return roll
+}
