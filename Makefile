@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json cover verify verify-short staticcheck fmt live-smoke serve-smoke chaos-smoke sweep-smoke
+.PHONY: build test race bench bench-json bench-gate cover verify verify-short staticcheck fmt live-smoke serve-smoke chaos-smoke sweep-smoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,14 @@ bench-json:
 	echo "writing BENCH_$$n.json"; \
 	$(GO) run ./cmd/benchtab -scale bench -run timing,rca -bench-json BENCH_$$n.json && \
 	$(GO) run ./cmd/benchtab -validate-bench BENCH_$$n.json
+
+# bench-gate is the perf-regression gate: a fresh throughput bench
+# compared against the newest committed BENCH_<n>.json with
+# `benchtab -compare` — fails when flights/sec drops or p99 per-flight
+# latency rises by more than 15% (override with MAX_REGRESS=10%). The
+# script self-tests on an injected synthetic regression first.
+bench-gate:
+	sh scripts/bench_gate.sh
 
 # cover produces coverage.out and prints the total; CI publishes the
 # per-package summary from the same profile.

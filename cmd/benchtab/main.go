@@ -8,7 +8,8 @@
 //	benchtab -run table1,fig6,importance
 //
 // Available runs: table1, table2, table3, imu, fig2, fig3, fig6, fig7,
-// importance, window, families, interference, ablation, timing, rca, all.
+// importance, window, families, interference, ablation, timing,
+// throughput, rca, all.
 //
 // Observability:
 //
@@ -18,7 +19,17 @@
 //
 // -bench-json enables the obs layer for the run and writes a
 // schema-versioned machine-readable benchmark report (wall time,
-// per-stage timings, allocations, environment) on exit.
+// per-stage timings, allocations, environment) on exit. The throughput
+// run adds the flights/sec section the CI bench-gate compares; pass
+// -no-triage to measure the full-pipeline baseline only.
+//
+// Perf-regression gate:
+//
+//	benchtab -compare BENCH_0.json BENCH_1.json -max-regress 15%
+//
+// fails (exit 1) when the new report's flights/sec falls more than
+// -max-regress below the old one's, or its p99 per-flight latency
+// rises more than -max-regress above.
 package main
 
 import (
@@ -26,6 +37,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"soundboost/internal/dataset"
@@ -51,6 +63,9 @@ func run() error {
 		debugAddr     = flag.String("debug-addr", "", "serve /debug/metrics and /debug/pprof on this address (enables the obs layer)")
 		benchJSON     = flag.String("bench-json", "", "write a schema-versioned benchmark report to this path (enables the obs layer)")
 		validateBench = flag.String("validate-bench", "", "validate a BENCH_*.json report and exit")
+		compareBench  = flag.String("compare", "", "old BENCH_*.json to gate against; the new report follows as a positional argument")
+		maxRegress    = flag.String("max-regress", "15%", "tolerated throughput/p99 regression for -compare (e.g. 15% or 0.15)")
+		noTriage      = flag.Bool("no-triage", false, "measure the throughput run without the triage tier (full-pipeline baseline)")
 	)
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
@@ -63,6 +78,10 @@ func run() error {
 		fmt.Printf("%s: valid (schema v%d, scale %s, %.1fs wall, %d stages)\n",
 			*validateBench, report.SchemaVersion, report.Scale, report.WallSeconds, len(report.Stages))
 		return nil
+	}
+
+	if *compareBench != "" {
+		return runCompare(*compareBench, flag.Args(), *maxRegress)
 	}
 
 	if *debugAddr != "" {
@@ -101,7 +120,7 @@ func run() error {
 	}
 	all := want["all"]
 	needLab := all
-	for _, r := range []string{"table2", "table3", "imu", "fig6", "fig7", "importance", "interference", "ablation", "timing", "rca"} {
+	for _, r := range []string{"table2", "table3", "imu", "fig6", "fig7", "importance", "interference", "ablation", "timing", "throughput", "rca"} {
 		if want[r] {
 			needLab = true
 		}
@@ -356,6 +375,27 @@ func run() error {
 		return err
 	}
 
+	var throughput *experiments.ThroughputResult
+	if err := section("throughput", func() error {
+		r, err := experiments.RunThroughput(lab, !*noTriage, logf)
+		if err != nil {
+			return err
+		}
+		throughput = &r
+		fmt.Printf("clean-majority corpus: %d flights (%.0f%% benign)\n", r.Flights, 100*r.CleanFraction)
+		fmt.Printf("full pipeline: %.2f flights/sec (p99 %.3fs/flight)\n",
+			r.BaselineFPS, r.BaselineP99FlightSeconds)
+		if r.TriageFPS > 0 {
+			fmt.Printf("with triage:   %.2f flights/sec (p99 %.3fs/flight, %.0f%% fast-path, %.2fx)\n",
+				r.TriageFPS, r.P99FlightSeconds, 100*r.FastpathRatio, r.Speedup)
+		} else {
+			fmt.Println("with triage:   skipped (-no-triage)")
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
 	if err := section("rca", func() error {
 		outcomes, err := experiments.RunEndToEndRCA(lab, logf)
 		if err != nil {
@@ -383,6 +423,18 @@ func run() error {
 			Runs:    runList,
 			Workers: parallel.DefaultWorkers(),
 		})
+		if throughput != nil {
+			report.Throughput = &obs.BenchThroughput{
+				Flights:                  throughput.Flights,
+				CleanFraction:            throughput.CleanFraction,
+				BaselineFPS:              throughput.BaselineFPS,
+				TriageFPS:                throughput.TriageFPS,
+				Speedup:                  throughput.Speedup,
+				FastpathRatio:            throughput.FastpathRatio,
+				BaselineP99FlightSeconds: throughput.BaselineP99FlightSeconds,
+				P99FlightSeconds:         throughput.P99FlightSeconds,
+			}
+		}
 		if err := obs.WriteBenchFile(*benchJSON, report); err != nil {
 			return fmt.Errorf("bench-json: %w", err)
 		}
@@ -391,6 +443,70 @@ func run() error {
 	}
 
 	return nil
+}
+
+// runCompare gates a new bench report against an old one:
+// `benchtab -compare OLD.json NEW.json -max-regress 15%`. The new
+// report and any trailing -max-regress land in rest because flag
+// parsing stops at the first positional argument.
+func runCompare(oldPath string, rest []string, tolSpec string) error {
+	var newPath string
+	for i := 0; i < len(rest); i++ {
+		switch {
+		case rest[i] == "-max-regress" || rest[i] == "--max-regress":
+			if i+1 >= len(rest) {
+				return fmt.Errorf("-max-regress needs a value")
+			}
+			i++
+			tolSpec = rest[i]
+		case strings.HasPrefix(rest[i], "-max-regress="):
+			tolSpec = strings.TrimPrefix(strings.TrimPrefix(rest[i], "-"), "max-regress=")
+		case newPath == "":
+			newPath = rest[i]
+		default:
+			return fmt.Errorf("unexpected argument %q (usage: benchtab -compare OLD.json NEW.json [-max-regress 15%%])", rest[i])
+		}
+	}
+	if newPath == "" {
+		return fmt.Errorf("usage: benchtab -compare OLD.json NEW.json [-max-regress 15%%]")
+	}
+	tol, err := parseRegress(tolSpec)
+	if err != nil {
+		return err
+	}
+	oldR, err := obs.ReadBenchFile(oldPath)
+	if err != nil {
+		return fmt.Errorf("compare %s: %w", oldPath, err)
+	}
+	newR, err := obs.ReadBenchFile(newPath)
+	if err != nil {
+		return fmt.Errorf("compare %s: %w", newPath, err)
+	}
+	if err := obs.CompareBenchReports(oldR, newR, tol); err != nil {
+		return fmt.Errorf("%s vs baseline %s: %w", newPath, oldPath, err)
+	}
+	fmt.Printf("%s vs baseline %s: OK (%.2f -> %.2f flights/sec, p99 %.3fs -> %.3fs, tolerance %.0f%%)\n",
+		newPath, oldPath,
+		oldR.Throughput.FPS(), newR.Throughput.FPS(),
+		oldR.Throughput.P99(), newR.Throughput.P99(), 100*tol)
+	return nil
+}
+
+// parseRegress accepts "15%" or "0.15".
+func parseRegress(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad -max-regress %q (want e.g. 15%% or 0.15)", s)
+	}
+	if pct || v >= 1 {
+		v /= 100
+	}
+	if v <= 0 || v >= 1 {
+		return 0, fmt.Errorf("-max-regress %q outside (0%%, 100%%)", s)
+	}
+	return v, nil
 }
 
 // writeCSV writes one figure-data table under dir.

@@ -47,6 +47,7 @@ type analyzerFlags struct {
 	analyzerPath *string
 	modelPath    *string
 	calibDir     *string
+	noTriage     *bool
 }
 
 func addAnalyzerFlags(fs *flag.FlagSet) *analyzerFlags {
@@ -54,11 +55,23 @@ func addAnalyzerFlags(fs *flag.FlagSet) *analyzerFlags {
 		analyzerPath: fs.String("analyzer", "", "saved analyzer path (skips calibration)"),
 		modelPath:    fs.String("model", "model.json", "trained model path (when no -analyzer)"),
 		calibDir:     fs.String("calib", "flights", "directory of benign calibration flights (when no -analyzer)"),
+		noTriage:     fs.Bool("no-triage", false, "run the full pipeline on every window even when the analyzer carries a triage tier"),
 	}
 }
 
 // load resolves the flags into a calibrated analyzer.
 func (a *analyzerFlags) load() (*soundboost.Analyzer, error) {
+	an, err := a.loadRaw()
+	if err != nil {
+		return nil, err
+	}
+	if *a.noTriage {
+		an = an.WithoutTriage()
+	}
+	return an, nil
+}
+
+func (a *analyzerFlags) loadRaw() (*soundboost.Analyzer, error) {
 	if *a.analyzerPath != "" {
 		af, err := os.Open(*a.analyzerPath)
 		if err != nil {

@@ -1,13 +1,20 @@
 // Command soundboost trains the acoustic model and runs post-incident RCA
 // over recorded flights.
 //
-// Train a model from a directory of benign flights:
+// Train a model from a directory of benign flights; -triage also fits
+// the KNN screening tier from the same corpus (attack flights allowed
+// then — they only label triage windows):
 //
 //	soundboost train -flights flights/ -model model.json
+//	soundboost train -flights flights/ -model model.json -triage triage.json
 //
-// Calibrate the detectors once and save the full analyzer:
+// Calibrate the detectors once and save the full analyzer; -triage
+// attaches the screening tier, enforces the zero verdict-flip
+// guarantee over the calibration corpus, and embeds the tier in the
+// saved analyzer:
 //
 //	soundboost calibrate -model model.json -calib flights/ -out analyzer.json
+//	soundboost calibrate -model model.json -calib flights/ -out analyzer.json -triage triage.json
 //
 // Run the two-stage RCA over a flight, either from a saved analyzer or by
 // calibrating on the fly:
@@ -47,6 +54,11 @@
 //	soundboost sweep -analyzer analyzer.json -margins 1.0,1.1,1.3 -attacks benign,gps-drift -jsonl sweep.jsonl
 //	soundboost sweep -addr http://127.0.0.1:8713 -chunks 1,2,4 -attacks benign,gps-drift,imu-dos
 //
+// Analyzer-consuming subcommands (rca, live, serve, chaos, sweep)
+// accept -no-triage to detach an embedded screening tier and force the
+// full pipeline on every flight; sweep additionally takes -triage
+// on,off to A/B the tier as a grid axis.
+//
 // Every subcommand accepts -debug-addr to enable the observability
 // layer and serve live pipeline metrics (/debug/metrics) and pprof
 // (/debug/pprof/) while it runs:
@@ -56,6 +68,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -69,6 +82,7 @@ import (
 	"soundboost/internal/mavbus"
 	"soundboost/internal/sim"
 	"soundboost/internal/stream"
+	"soundboost/internal/triage"
 )
 
 func main() {
@@ -133,11 +147,12 @@ func loadFlightDir(dir string) ([]*dataset.Flight, error) {
 func runTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ContinueOnError)
 	var (
-		flightDir = fs.String("flights", "flights", "directory of benign training flights")
-		modelPath = fs.String("model", "model.json", "output model path")
-		hidden    = fs.Int("hidden", 64, "regressor width")
-		epochs    = fs.Int("epochs", 60, "training epochs")
-		augment   = fs.Float64("augment", 5, "time-shift augmentation factor (0 = none)")
+		flightDir  = fs.String("flights", "flights", "directory of benign training flights")
+		modelPath  = fs.String("model", "model.json", "output model path")
+		triagePath = fs.String("triage", "", "also train the KNN triage tier and write it to this path (attack flights then label the corpus instead of being rejected)")
+		hidden     = fs.Int("hidden", 64, "regressor width")
+		epochs     = fs.Int("epochs", 60, "training epochs")
+		augment    = fs.Float64("augment", 5, "time-shift augmentation factor (0 = none)")
 	)
 	rt := addRuntimeFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -146,14 +161,26 @@ func runTrain(args []string) error {
 	if err := rt.apply(); err != nil {
 		return err
 	}
-	flights, err := loadFlightDir(*flightDir)
+	allFlights, err := loadFlightDir(*flightDir)
 	if err != nil {
 		return err
 	}
-	for _, f := range flights {
+	// The regressor learns the benign acoustic→accel mapping, so it only
+	// ever trains on benign flights. Without -triage any attack flight in
+	// the directory is a mistake; with -triage the attacks are the labeled
+	// anomalous half of the screening corpus.
+	var flights []*dataset.Flight
+	for _, f := range allFlights {
 		if f.Scenario.IsAttack() {
-			return fmt.Errorf("flight %q is an attack flight; train on benign flights only", f.Name)
+			if *triagePath == "" {
+				return fmt.Errorf("flight %q is an attack flight; train on benign flights only (or pass -triage)", f.Name)
+			}
+			continue
 		}
+		flights = append(flights, f)
+	}
+	if len(flights) == 0 {
+		return fmt.Errorf("no benign flights in %s", *flightDir)
 	}
 	// Derive the signature layout from the first recording's rate: assume
 	// the default frequency plan scaled into its Nyquist range.
@@ -194,15 +221,32 @@ func runTrain(args []string) error {
 		return err
 	}
 	fmt.Printf("model written to %s\n", *modelPath)
+	if *triagePath == "" {
+		return nil
+	}
+	tri, err := soundboost.TrainTriage(allFlights, sigCfg, triage.Config{})
+	if err != nil {
+		return err
+	}
+	blob, err := json.Marshal(tri)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*triagePath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("triage tier written to %s (%d prototypes, k=%d)\n",
+		*triagePath, tri.Prototypes(), tri.K())
 	return nil
 }
 
 func runCalibrate(args []string) error {
 	fs := flag.NewFlagSet("calibrate", flag.ContinueOnError)
 	var (
-		modelPath = fs.String("model", "model.json", "trained model path")
-		calibDir  = fs.String("calib", "flights", "directory of benign calibration flights")
-		outPath   = fs.String("out", "analyzer.json", "output analyzer path")
+		modelPath  = fs.String("model", "model.json", "trained model path")
+		calibDir   = fs.String("calib", "flights", "directory of benign calibration flights")
+		triagePath = fs.String("triage", "", "trained triage tier to embed (from `soundboost train -triage`); verified flip-free against the calibration corpus")
+		outPath    = fs.String("out", "analyzer.json", "output analyzer path")
 	)
 	rt := addRuntimeFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -214,6 +258,31 @@ func runCalibrate(args []string) error {
 	analyzer, err := buildAnalyzer(*modelPath, *calibDir)
 	if err != nil {
 		return err
+	}
+	if *triagePath != "" {
+		blob, err := os.ReadFile(*triagePath)
+		if err != nil {
+			return err
+		}
+		tri := new(triage.Model)
+		if err := json.Unmarshal(blob, tri); err != nil {
+			return fmt.Errorf("decode triage tier %s: %w", *triagePath, err)
+		}
+		analyzer.Triage = tri
+		// Enforce the zero verdict-flip guarantee on the calibration
+		// corpus before the tier is persisted: any flight the full
+		// pipeline flags must escalate, tightening the benign radius
+		// until it does.
+		calib, err := loadFlightDir(*calibDir)
+		if err != nil {
+			return err
+		}
+		fast, esc, err := analyzer.VerifyTriage(calib)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("triage verified on %d calibration flights: %d fast-path, %d escalated\n",
+			len(calib), fast, esc)
 	}
 	out, err := os.Create(*outPath)
 	if err != nil {

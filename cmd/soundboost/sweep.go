@@ -23,6 +23,7 @@ func runSweep(args []string) error {
 		addr        = fs.String("addr", "", "run against a live server at this base URL (default: self-hosted in-process servers)")
 		kfAxis      = fs.String("kf", "", "comma-separated KF variants whose GPS margin is swept: audio-only,audio+imu (self-hosted only; default audio+imu)")
 		marginAxis  = fs.String("margins", "", "comma-separated GPS threshold margins (self-hosted only; default 1.1)")
+		triageAxis  = fs.String("triage", "", "comma-separated triage-tier settings: on,off (self-hosted only; default follows the analyzer)")
 		chunkAxis   = fs.String("chunks", "2", "comma-separated chunk sizes: flight seconds per frames request")
 		frameAxis   = fs.String("frames", "0.05", "comma-separated audio frame lengths (s)")
 		attackAxis  = fs.String("attacks", "benign,gps-drift", "comma-separated attack families: benign,gps-static,gps-drift,imu-side-swing,imu-dos")
@@ -63,6 +64,9 @@ func runSweep(args []string) error {
 	}
 	var err error
 	if cfg.Margins, err = sweep.ParseFloats("margins", *marginAxis); err != nil {
+		return err
+	}
+	if cfg.Triage, err = sweep.ParseBools("triage", *triageAxis); err != nil {
 		return err
 	}
 	if cfg.ChunkSeconds, err = sweep.ParseFloats("chunks", *chunkAxis); err != nil {

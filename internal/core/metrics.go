@@ -27,4 +27,10 @@ var (
 	analyzerCalibTimer = obs.Default.Timer("core.calibrate.analyzer")
 	reportsIMU         = obs.Default.Counter("core.rca.reports_imu")
 	reportsGPS         = obs.Default.Counter("core.rca.reports_gps")
+	// core.triage.* cover the screening tier's batch adapter: train fires
+	// once per TrainTriage, screen once per screened flight, and fastpath
+	// counts flights that short-circuited with the cheap benign verdict.
+	triageTrainTimer  = obs.Default.Timer("core.triage.train")
+	triageScreenTimer = obs.Default.Timer("core.triage.screen")
+	reportsFastpath   = obs.Default.Counter("core.rca.reports_fastpath")
 )

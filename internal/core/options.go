@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"soundboost/internal/kalman"
+	"soundboost/internal/triage"
 )
 
 // AnalyzerOption configures NewAnalyzer's calibration. The zero option
@@ -15,6 +16,7 @@ type analyzerOptions struct {
 	workers int
 	imuCfg  IMUDetectorConfig
 	gpsCfgs map[kalman.Mode]GPSDetectorConfig
+	triage  *triage.Model
 }
 
 func defaultAnalyzerOptions() analyzerOptions {
@@ -44,6 +46,15 @@ func WithIMUConfig(cfg IMUDetectorConfig) AnalyzerOption {
 // unknown mode makes NewAnalyzer fail with a descriptive error.
 func WithKFVariant(cfg GPSDetectorConfig) AnalyzerOption {
 	return func(o *analyzerOptions) { o.gpsCfgs[cfg.Mode] = cfg }
+}
+
+// WithTriage attaches a trained screening tier (see internal/triage) to
+// the analyzer: flights whose every window screens confident-benign
+// skip the full two-stage pipeline. Run VerifyTriage on the calibration
+// corpus afterwards to enforce the zero verdict-flip guarantee. Nil
+// leaves screening disabled (the default).
+func WithTriage(m *triage.Model) AnalyzerOption {
+	return func(o *analyzerOptions) { o.triage = m }
 }
 
 // validate rejects option combinations the analyzer cannot calibrate.

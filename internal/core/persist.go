@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"soundboost/internal/stats"
+	"soundboost/internal/triage"
 )
 
 // analyzerFile is the serialised form of a fully-calibrated Analyzer:
@@ -25,6 +26,11 @@ type analyzerFile struct {
 	AudioOnlyThreshold float64           `json:"audio_only_threshold"`
 	AudioIMUCfg        GPSDetectorConfig `json:"audio_imu_config"`
 	AudioIMUThreshold  float64           `json:"audio_imu_threshold"`
+
+	// Triage is the optional screening tier in its own schema-versioned
+	// format (triage/v1); absent in files written before the tier
+	// existed, so older analyzers load unchanged with screening off.
+	Triage json.RawMessage `json:"triage,omitempty"`
 }
 
 // Save writes the calibrated analyzer to w as JSON.
@@ -36,7 +42,16 @@ func (a *Analyzer) Save(w io.Writer) error {
 	if err := a.Model.Save(&modelBuf); err != nil {
 		return err
 	}
+	var triageRaw json.RawMessage
+	if a.Triage != nil {
+		blob, err := json.Marshal(a.Triage)
+		if err != nil {
+			return fmt.Errorf("soundboost: save triage tier: %w", err)
+		}
+		triageRaw = blob
+	}
 	return json.NewEncoder(w).Encode(analyzerFile{
+		Triage:             triageRaw,
 		Model:              json.RawMessage(modelBuf.Bytes()),
 		IMUCfg:             a.IMU.cfg,
 		IMUBenign:          a.IMU.benign,
@@ -63,8 +78,16 @@ func LoadAnalyzer(r io.Reader) (*Analyzer, error) {
 	if af.IMUBenign.Sigma <= 0 {
 		return nil, fmt.Errorf("soundboost: analyzer file has degenerate benign sigma %g", af.IMUBenign.Sigma)
 	}
+	var tri *triage.Model
+	if len(af.Triage) > 0 {
+		tri = new(triage.Model)
+		if err := json.Unmarshal(af.Triage, tri); err != nil {
+			return nil, fmt.Errorf("soundboost: analyzer triage tier: %w", err)
+		}
+	}
 	return &Analyzer{
-		Model: model,
+		Triage: tri,
+		Model:  model,
 		IMU: &IMUDetector{
 			cfg:           af.IMUCfg,
 			model:         model,

@@ -8,6 +8,7 @@ import (
 	"soundboost/internal/faults"
 	"soundboost/internal/kalman"
 	"soundboost/internal/parallel"
+	"soundboost/internal/triage"
 )
 
 // ErrNoFlight is returned by Analyze when given a nil flight or one with
@@ -79,6 +80,11 @@ type Analyzer struct {
 	GPSAudioOnly *GPSDetector
 	// GPSAudioIMU is used when the IMU is trusted.
 	GPSAudioIMU *GPSDetector
+	// Triage is the optional screening tier (WithTriage). When attached,
+	// flights whose every window screens confident-benign short-circuit
+	// Analyze with FastBenignReport instead of running the detectors;
+	// any doubt escalates to the full pipeline. Nil disables screening.
+	Triage *triage.Model
 }
 
 // NewAnalyzer calibrates all detectors from benign flights. The three
@@ -133,7 +139,7 @@ func NewAnalyzer(model *AcousticModel, benignFlights []*dataset.Flight, opts ...
 	if err != nil {
 		return nil, err
 	}
-	return &Analyzer{Model: model, IMU: imu, GPSAudioOnly: audioOnly, GPSAudioIMU: audioIMU}, nil
+	return &Analyzer{Model: model, IMU: imu, GPSAudioOnly: audioOnly, GPSAudioIMU: audioIMU, Triage: o.triage}, nil
 }
 
 // WithGPSMargin returns a shallow copy of the analyzer whose GPS
@@ -173,6 +179,15 @@ func (a *Analyzer) Analyze(f *dataset.Flight) (Report, error) {
 	defer span.Stop()
 	if f == nil || (len(f.Telemetry) == 0 && (f.Audio == nil || f.Audio.Samples() == 0)) {
 		return Report{GPSMode: a.GPSAudioIMU.Mode()}, ErrNoFlight
+	}
+	// Screening tier: a flight whose every window is confident-benign
+	// skips both detector stages. The screen only ever concludes "none",
+	// so the verdict cannot flip relative to the full pipeline.
+	if a.Triage != nil {
+		if benign, _ := a.screenFlight(f); benign {
+			reportsFastpath.Inc()
+			return FastBenignReport(f.Name, a), nil
+		}
 	}
 	report := Report{Flight: f.Name, GPSMode: a.GPSAudioIMU.Mode()}
 

@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+func TestRunThroughputQuick(t *testing.T) {
+	lab := getLab(t)
+	res, err := RunThroughput(lab, true, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flights < 2 {
+		t.Fatalf("throughput corpus has %d flights", res.Flights)
+	}
+	if res.CleanFraction <= 0.5 {
+		t.Errorf("corpus is not clean-majority: %.2f", res.CleanFraction)
+	}
+	if res.BaselineFPS <= 0 || res.TriageFPS <= 0 {
+		t.Fatalf("non-positive throughput: baseline %.3f triage %.3f", res.BaselineFPS, res.TriageFPS)
+	}
+	if res.Speedup <= 0 {
+		t.Errorf("speedup %.3f", res.Speedup)
+	}
+	if res.FastpathRatio <= 0 {
+		t.Errorf("no flight took the fast path (ratio %.2f); triage buys nothing", res.FastpathRatio)
+	}
+	if res.BaselineP99FlightSeconds <= 0 || res.P99FlightSeconds <= 0 {
+		t.Errorf("non-positive p99: baseline %.4f triage %.4f", res.BaselineP99FlightSeconds, res.P99FlightSeconds)
+	}
+}

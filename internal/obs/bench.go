@@ -49,6 +49,48 @@ type BenchReport struct {
 	// Counters and Gauges carry the remaining registry state.
 	Counters map[string]int64   `json:"counters,omitempty"`
 	Gauges   map[string]float64 `json:"gauges,omitempty"`
+	// Throughput carries the flights/sec section when the run included
+	// it (additive in schema v1; absent in older artifacts).
+	Throughput *BenchThroughput `json:"throughput,omitempty"`
+}
+
+// BenchThroughput is the batch-RCA throughput section of a bench
+// report: flights/sec over a clean-majority corpus with and without
+// the triage tier. It is what the CI bench-gate compares across
+// commits.
+type BenchThroughput struct {
+	// Flights is the corpus size; CleanFraction its benign share.
+	Flights       int     `json:"flights"`
+	CleanFraction float64 `json:"clean_fraction"`
+	// BaselineFPS is flights/sec through the full pipeline; TriageFPS
+	// with the screening tier (0 when the run skipped it).
+	BaselineFPS float64 `json:"baseline_flights_per_sec"`
+	TriageFPS   float64 `json:"triage_flights_per_sec"`
+	// Speedup is TriageFPS/BaselineFPS; FastpathRatio the fraction of
+	// flights the tier short-circuited.
+	Speedup       float64 `json:"speedup"`
+	FastpathRatio float64 `json:"fastpath_ratio"`
+	// Per-flight p99 latencies (seconds) of the two paths.
+	BaselineP99FlightSeconds float64 `json:"baseline_p99_flight_seconds"`
+	P99FlightSeconds         float64 `json:"p99_flight_seconds"`
+}
+
+// FPS returns the report's operative flights/sec: the triage-path
+// number when the run measured it, the full-pipeline baseline
+// otherwise.
+func (t *BenchThroughput) FPS() float64 {
+	if t.TriageFPS > 0 {
+		return t.TriageFPS
+	}
+	return t.BaselineFPS
+}
+
+// P99 returns the per-flight p99 latency matching FPS.
+func (t *BenchThroughput) P99() float64 {
+	if t.TriageFPS > 0 {
+		return t.P99FlightSeconds
+	}
+	return t.BaselineP99FlightSeconds
 }
 
 // BenchStage is one named stage's timing summary (seconds).
@@ -167,6 +209,49 @@ func (r *BenchReport) Validate() error {
 		if i > 0 && r.Stages[i-1].Name >= s.Name {
 			return fmt.Errorf("obs: stages not sorted by name at %q", s.Name)
 		}
+	}
+	if t := r.Throughput; t != nil {
+		switch {
+		case t.Flights < 1:
+			return fmt.Errorf("obs: throughput section covers %d flights", t.Flights)
+		case t.CleanFraction < 0 || t.CleanFraction > 1:
+			return fmt.Errorf("obs: throughput clean fraction %g outside [0,1]", t.CleanFraction)
+		case t.BaselineFPS <= 0:
+			return fmt.Errorf("obs: throughput baseline %g flights/sec must be positive", t.BaselineFPS)
+		case t.TriageFPS < 0 || t.Speedup < 0:
+			return fmt.Errorf("obs: throughput triage numbers are negative")
+		case t.FastpathRatio < 0 || t.FastpathRatio > 1:
+			return fmt.Errorf("obs: throughput fastpath ratio %g outside [0,1]", t.FastpathRatio)
+		case t.BaselineP99FlightSeconds <= 0:
+			return fmt.Errorf("obs: throughput baseline p99 %g must be positive", t.BaselineP99FlightSeconds)
+		case t.TriageFPS > 0 && t.P99FlightSeconds <= 0:
+			return fmt.Errorf("obs: throughput triage p99 %g must be positive", t.P99FlightSeconds)
+		}
+	}
+	return nil
+}
+
+// CompareBenchReports is the perf-regression gate: it fails when the
+// new report's flights/sec falls more than tolerance below the old
+// one's, or its p99 per-flight latency rises more than tolerance above
+// (tolerance 0.15 = 15%). Both reports must carry a throughput section
+// — a gate that silently passes on a metric-free artifact is no gate.
+func CompareBenchReports(oldR, newR *BenchReport, tolerance float64) error {
+	if tolerance < 0 || tolerance >= 1 {
+		return fmt.Errorf("obs: compare tolerance %g outside [0,1)", tolerance)
+	}
+	if oldR.Throughput == nil || newR.Throughput == nil {
+		return fmt.Errorf("obs: both reports need a throughput section (run benchtab -run throughput -bench-json)")
+	}
+	oldFPS, newFPS := oldR.Throughput.FPS(), newR.Throughput.FPS()
+	if newFPS < oldFPS*(1-tolerance) {
+		return fmt.Errorf("obs: throughput regressed: %.2f flights/sec vs baseline %.2f (-%.1f%%, tolerance %.0f%%)",
+			newFPS, oldFPS, 100*(1-newFPS/oldFPS), 100*tolerance)
+	}
+	oldP99, newP99 := oldR.Throughput.P99(), newR.Throughput.P99()
+	if newP99 > oldP99*(1+tolerance) {
+		return fmt.Errorf("obs: p99 per-flight latency regressed: %.3fs vs baseline %.3fs (+%.1f%%, tolerance %.0f%%)",
+			newP99, oldP99, 100*(newP99/oldP99-1), 100*tolerance)
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ import (
 	"soundboost/internal/mathx"
 	"soundboost/internal/mavbus"
 	"soundboost/internal/sensors"
+	"soundboost/internal/triage"
 )
 
 // maxGapFillSeconds caps how much audio silence a single timestamp jump
@@ -27,6 +28,14 @@ const maxGapFillSeconds = 30
 // windows cannot advance (e.g. the audio feed stalled). Past it the
 // oldest samples are evicted and counted.
 const maxTelemetryBuffer = 1 << 17
+
+// maxFastpathBacklogWindows caps how many screened windows the triage
+// fast path may retain for a potential escalation replay before memory
+// wins over speed: past it the engine escalates (runs the backlog
+// through the full pipeline) purely to release the buffers. At the
+// default 0.25 s hop this is ~4 minutes of stream — far beyond the
+// flights the service sees, so real streams fast-path end to end.
+const maxFastpathBacklogWindows = 1 << 10
 
 // sampleRange is a half-open range [start, end) of absolute sample
 // indices whose content is gap-filled or otherwise untrustworthy.
@@ -101,6 +110,18 @@ type Engine struct {
 	// (start time nextWin*HopSeconds, exactly as batch WindowStarts).
 	nextWin int
 
+	// Triage fast path. While active (tri non-nil and not escalated),
+	// ready windows are screened by the cheap tier instead of running the
+	// full pipeline, and every full-pipeline input from window triFullWin
+	// onward is retained so that any doubt can escalate by replaying the
+	// screened backlog — reproducing, bit for bit, the engine state the
+	// full pipeline would have reached. Escalation is permanent for the
+	// stream; a stream that never escalates finalizes with the cheap
+	// path-independent benign report.
+	tri          *triage.Model
+	triFullWin   int
+	triEscalated bool
+
 	imuMon  *imuMonitor
 	gpsAO   *gpsMonitor // audio-only KF, trusted when the IMU is flagged
 	gpsAI   *gpsMonitor // audio+IMU KF, trusted otherwise
@@ -171,6 +192,9 @@ func newEngine(an *soundboost.Analyzer, sampleRate float64, cfg Config) (*Engine
 			}
 			e.filters[m] = lp
 		}
+	}
+	if !e.cfg.DisableTriage {
+		e.tri = an.Triage
 	}
 	e.imuMon = newIMUMonitor(an.IMU, sig.WindowSeconds)
 	e.gpsAO = newGPSMonitor(an.GPSAudioOnly, sig.HopSeconds)
@@ -450,9 +474,15 @@ func (e *Engine) onIMU(s IMUSample) {
 		e.imuBuf[i] = s
 	}
 	if len(e.imuBuf) > maxTelemetryBuffer {
-		e.imuBuf = e.imuBuf[1:]
-		e.imuEvict++
-		telemetryEvicted.Inc()
+		// Evicting a row the escalation replay might need would break
+		// replay exactness: leave the fast path first (which prunes the
+		// backlog), then evict only if the buffer is still over.
+		e.escalate()
+		if len(e.imuBuf) > maxTelemetryBuffer {
+			e.imuBuf = e.imuBuf[1:]
+			e.imuEvict++
+			telemetryEvicted.Inc()
+		}
 	}
 }
 
@@ -489,9 +519,12 @@ func (e *Engine) onGPS(s GPSSample) {
 		e.gpsBuf[i] = s
 	}
 	if len(e.gpsBuf) > maxTelemetryBuffer {
-		e.gpsBuf = e.gpsBuf[1:]
-		e.gpsEvict++
-		telemetryEvicted.Inc()
+		e.escalate()
+		if len(e.gpsBuf) > maxTelemetryBuffer {
+			e.gpsBuf = e.gpsBuf[1:]
+			e.gpsEvict++
+			telemetryEvicted.Inc()
+		}
 	}
 }
 
@@ -522,7 +555,10 @@ func (e *Engine) advance(flush bool) {
 					break // wait for telemetry to catch up
 				}
 				// Telemetry starved beyond the horizon: skip the window
-				// so the audio ring stays bounded.
+				// so the audio ring stays bounded. Starvation is doubt —
+				// the fast path hands the stream to the full pipeline
+				// first so the skip happens in full-pipeline state.
+				e.escalate()
 				windowsStarved.Inc()
 				e.bumpSkipped()
 				e.nextWin++
@@ -530,14 +566,84 @@ func (e *Engine) advance(flush bool) {
 				continue
 			}
 		}
-		e.processWindow(t0, start, total)
+		if e.fastpath() {
+			if e.nextWin-e.triFullWin < maxFastpathBacklogWindows && e.screenWindow(t0, start, total) {
+				windowsScreened.Inc()
+				e.mu.Lock()
+				e.status.Windows++
+				e.status.LastWindowEnd = endT
+				e.mu.Unlock()
+				e.nextWin++
+				e.prune()
+				continue
+			}
+			// Doubt (or backlog bound): replay the screened backlog
+			// through the full pipeline, then process this window there.
+			e.escalate()
+		}
+		e.processWindow(e.nextWin, t0, start, total)
 		e.nextWin++
 		e.prune()
 	}
 }
 
-// processWindow runs one signature window through both RCA stages.
-func (e *Engine) processWindow(t0 float64, start, total int) {
+// fastpath reports whether the triage screening tier is deciding
+// windows (attached and not yet escalated).
+func (e *Engine) fastpath() bool { return e.tri != nil && !e.triEscalated }
+
+// screenWindow runs the triage tier over one ready window; false means
+// the window — and with it the stream — must escalate. Every condition
+// the full pipeline treats specially (pending engine error, dropout
+// overlap, missing IMU rows, unusable features) is doubt.
+func (e *Engine) screenWindow(t0 float64, start, total int) bool {
+	if e.err != nil || e.overlapsInvalid(start, start+total) {
+		return false
+	}
+	endT := t0 + e.sig.WindowSeconds
+	imuWin := e.imuWindow(t0, endT)
+	if len(imuWin) == 0 {
+		return false
+	}
+	gpsWin := e.gpsWindow(t0, endT)
+	imu := make([]triage.IMUPoint, len(imuWin))
+	for i, s := range imuWin {
+		imu[i] = triage.IMUPoint{Accel: s.Accel, Gyro: s.Gyro}
+	}
+	gps := make([]triage.GPSPoint, len(gpsWin))
+	for i, s := range gpsWin {
+		gps[i] = triage.GPSPoint{Time: s.Time, Pos: s.Pos, Vel: s.Vel}
+	}
+	off := start - e.base
+	feat := e.tri.Config().Features.Features(e.buf[0][off:off+total], e.rate, imu, gps)
+	return e.tri.Classify(feat).Benign
+}
+
+// escalate permanently abandons the fast path: every screened window is
+// replayed through the full pipeline from the retained buffers. The
+// screened backlog is frozen — late telemetry for decided windows is
+// rejected at ingest and dropout ranges only ever grow at the write
+// head — so the replay reproduces exactly the state the full pipeline
+// would have reached had it run from the start. A no-op once escalated
+// or when no tier is attached.
+func (e *Engine) escalate() {
+	if !e.fastpath() {
+		return
+	}
+	e.triEscalated = true
+	triageEscalations.Inc()
+	total := int(e.sig.WindowSeconds * e.rate)
+	for w := e.triFullWin; w < e.nextWin; w++ {
+		t0 := float64(w) * e.sig.HopSeconds
+		e.processWindow(w, t0, int(t0*e.rate), total)
+	}
+	e.triFullWin = e.nextWin
+	e.prune()
+}
+
+// processWindow runs one signature window (index winIdx, start time t0)
+// through both RCA stages. Live processing passes winIdx = e.nextWin;
+// an escalation replay passes the historical index.
+func (e *Engine) processWindow(winIdx int, t0 float64, start, total int) {
 	endT := t0 + e.sig.WindowSeconds
 	if !e.cfg.GapFill && e.overlapsInvalid(start, start+total) {
 		windowsSkippedGap.Inc()
@@ -598,7 +704,7 @@ func (e *Engine) processWindow(t0 float64, start, total int) {
 			gpsSum = gpsSum.Add(s.Vel)
 		}
 		o := gpsObs{
-			winIdx:   e.nextWin,
+			winIdx:   winIdx,
 			t:        endT,
 			audioNED: att.Rotate(pred).Add(e.gravity),
 			imuNED:   att.Rotate(imuBody).Add(e.gravity),
@@ -672,10 +778,17 @@ func (e *Engine) overlapsInvalid(start, end int) bool {
 }
 
 // prune discards buffered audio and telemetry no window can need again:
-// everything strictly before the next window's start. This (plus the
-// starvation skip in advance) is what bounds engine memory.
+// everything strictly before the next window's start — or, while the
+// triage fast path is active, before the first window the full pipeline
+// has not consumed, since an escalation replay needs the screened
+// backlog intact. This (plus the starvation skip in advance and the
+// fast-path backlog bound) is what bounds engine memory.
 func (e *Engine) prune() {
-	t0 := float64(e.nextWin) * e.sig.HopSeconds
+	pruneWin := e.nextWin
+	if e.fastpath() && e.triFullWin < pruneWin {
+		pruneWin = e.triFullWin
+	}
+	t0 := float64(pruneWin) * e.sig.HopSeconds
 	newBase := int(t0 * e.rate)
 	if cut := newBase - e.base; cut > 0 {
 		for m := range e.buf {
@@ -707,8 +820,24 @@ func (e *Engine) prune() {
 }
 
 // finalize assembles the report with the batch pipeline's stage-2
-// selection and cause attribution.
+// selection and cause attribution. A stream that screened at least one
+// window and never escalated finalizes with the cheap path-independent
+// benign report; a zero-window or errored fast-path stream escalates
+// first so the report matches the triage-disabled engine exactly.
 func (e *Engine) finalize() (soundboost.Report, error) {
+	if e.fastpath() {
+		if e.err == nil && e.nextWin > e.triFullWin {
+			triageFastReports.Inc()
+			e.mu.Lock()
+			e.status.IMUAttacked = false
+			e.status.GPSAttacked = false
+			e.status.ActiveMode = e.an.GPSAudioIMU.Mode()
+			e.status.Threshold = e.an.GPSAudioIMU.Threshold()
+			e.mu.Unlock()
+			return soundboost.FastBenignReport(e.cfg.FlightName, e.an), nil
+		}
+		e.escalate()
+	}
 	imuV := e.imuMon.finalize()
 	gps := e.gpsAI
 	mode := e.an.GPSAudioIMU.Mode()

@@ -40,3 +40,9 @@ func WithGapFill(process bool) Option {
 func WithFlightName(name string) Option {
 	return func(c *Config) { c.FlightName = name }
 }
+
+// WithTriageDisabled forces the full pipeline on every window even when
+// the analyzer carries a screening tier (the -no-triage escape hatch).
+func WithTriageDisabled(disabled bool) Option {
+	return func(c *Config) { c.DisableTriage = disabled }
+}

@@ -90,6 +90,10 @@ type Config struct {
 	// a window built from silence produces an untrustworthy signature,
 	// so dropout windows are skipped (and counted) unless opted in.
 	GapFill bool
+	// DisableTriage runs the full pipeline on every window even when the
+	// analyzer carries a screening tier — the streaming -no-triage
+	// escape hatch.
+	DisableTriage bool
 	// FlightName labels the produced report.
 	FlightName string
 }
@@ -132,6 +136,9 @@ var (
 	windowsSkippedGap  = obs.Default.Counter("stream.windows.skipped_gap")
 	windowsStarved     = obs.Default.Counter("stream.windows.skipped_starved")
 	windowsRejected    = obs.Default.Counter("stream.windows.rejected")
+	windowsScreened    = obs.Default.Counter("stream.windows.screened")
+	triageEscalations  = obs.Default.Counter("stream.triage.escalations")
+	triageFastReports  = obs.Default.Counter("stream.triage.fast_reports")
 	gpsSegments        = obs.Default.Counter("stream.gps.segments")
 	featureTimer       = obs.Default.Timer("stream.window.features")
 	imuPeriodTimer     = obs.Default.Timer("stream.imu.period")

@@ -26,6 +26,31 @@ func ParseFloats(name, s string) ([]float64, error) {
 	return out, nil
 }
 
+// ParseBools parses a comma-separated boolean axis ("on,off",
+// "true,false", "1,0") with the same trimming rules as ParseFloats.
+func ParseBools(name, s string) ([]bool, error) {
+	var out []bool
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		switch strings.ToLower(tok) {
+		case "on":
+			out = append(out, true)
+		case "off":
+			out = append(out, false)
+		default:
+			v, err := strconv.ParseBool(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %s: bad grid value %q", name, tok)
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
 // ParseStrings splits a comma-separated axis into trimmed, non-empty
 // tokens.
 func ParseStrings(s string) []string {

@@ -24,8 +24,9 @@ import (
 // SchemaVersion names the record schema emitted by this package.
 // Adding a field is backward compatible; renaming, removing, or
 // changing the meaning of one requires bumping the version (the same
-// contract the /v1 wire schema follows).
-const SchemaVersion = "sweep/v1"
+// contract the /v1 wire schema follows). sweep/v2 added the triage
+// axis to Params and the CSV summary.
+const SchemaVersion = "sweep/v2"
 
 // KFServer is the Params.KF sentinel recorded in external-server mode,
 // where the analyzer — and therefore the variant/margin calibration —
@@ -40,6 +41,10 @@ type Params struct {
 	// Margin is the GPS threshold margin the cell's analyzer runs at
 	// (0 in external mode: the server's own calibration applies).
 	Margin float64 `json:"margin"`
+	// Triage reports whether the cell's analyzer screened windows
+	// through the KNN triage tier (always false in external mode: the
+	// server's own analyzer decides).
+	Triage bool `json:"triage"`
 	// ChunkSeconds is the flight seconds carried per frames request.
 	ChunkSeconds float64 `json:"chunk_seconds"`
 	// FrameSeconds is the audio frame length inside each request.
@@ -148,9 +153,33 @@ func WriteJSONL(w io.Writer, records []Record) error {
 	return nil
 }
 
+// ParseRecords reads a JSONL stream written by WriteJSONL back into
+// records, strictly: unknown fields and any schema version other than
+// the current one are errors, so a consumer built against sweep/v2
+// fails loudly on v1 archives (or a future v3) instead of silently
+// zero-filling the fields that changed.
+func ParseRecords(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var out []Record
+	for line := 0; ; line++ {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("sweep: record %d: %w", line, err)
+		}
+		if rec.SchemaVersion != SchemaVersion {
+			return nil, fmt.Errorf("sweep: record %d: schema %q (this build reads %q)",
+				line, rec.SchemaVersion, SchemaVersion)
+		}
+		out = append(out, rec)
+	}
+}
+
 // csvHeader is the column order of the per-trial CSV summary.
 var csvHeader = []string{
-	"trial", "flight", "kf", "margin", "chunk_seconds", "frame_seconds",
+	"trial", "flight", "kf", "margin", "triage", "chunk_seconds", "frame_seconds",
 	"attack", "intensity", "rep", "truth_kind", "cause", "correct",
 	"detection_seconds", "peak_error", "threshold", "chunks", "shed", "retries",
 }
@@ -167,6 +196,7 @@ func WriteCSV(w io.Writer, records []Record) error {
 		r := &records[i]
 		row := []string{
 			strconv.Itoa(r.Trial), r.Flight, r.Params.KF, g(r.Params.Margin),
+			strconv.FormatBool(r.Params.Triage),
 			g(r.Params.ChunkSeconds), g(r.Params.FrameSeconds),
 			r.Params.Attack, g(r.Params.Intensity), strconv.Itoa(r.Params.Rep),
 			r.Truth.Kind, r.Verdict.Cause, strconv.FormatBool(r.Correct),

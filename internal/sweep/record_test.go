@@ -1,0 +1,79 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestParseRecordsRoundTrip pins the strict JSONL decode contract:
+// WriteJSONL output reads back exactly, while unknown fields, foreign
+// schema versions (a sweep/v1 archive), and truncated lines all fail
+// loudly instead of zero-filling.
+func TestParseRecordsRoundTrip(t *testing.T) {
+	records := []Record{
+		{
+			SchemaVersion: SchemaVersion,
+			Trial:         0,
+			Flight:        "benign-i1-r0",
+			Params: Params{
+				KF: "audio+imu", Margin: 1.1, Triage: true,
+				ChunkSeconds: 2, FrameSeconds: 0.05,
+				Attack: "benign", Intensity: 1,
+			},
+			Truth:   Truth{Kind: "benign"},
+			Verdict: Verdict{Cause: "none", GPSMode: "audio+imu", Threshold: 0.4},
+			Correct: true,
+			Chunks:  7,
+		},
+		{
+			SchemaVersion: SchemaVersion,
+			Trial:         1,
+			Flight:        "gps-drift-i1-r0",
+			Params: Params{
+				KF: "audio+imu", Margin: 1.1, Triage: false,
+				ChunkSeconds: 2, FrameSeconds: 0.05,
+				Attack: "gps-drift", Intensity: 1,
+			},
+			Truth:   Truth{Attack: true, Kind: "gps-drift", StartSeconds: 6, EndSeconds: 10},
+			Verdict: Verdict{Cause: "gps", GPSAttacked: true, GPSMode: "audio+imu", DetectionSeconds: 6.5, PeakError: 0.9, Threshold: 0.4},
+			Correct: true,
+			Chunks:  7,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, records); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	got, err := ParseRecords(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseRecords: %v", err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("got %d records, want %d", len(got), len(records))
+	}
+	for i := range records {
+		if got[i].Params != records[i].Params || got[i].Truth != records[i].Truth ||
+			got[i].Verdict != records[i].Verdict || got[i].Correct != records[i].Correct {
+			t.Errorf("record %d round-trip mismatch:\n got %+v\nwant %+v", i, got[i], records[i])
+		}
+	}
+
+	for name, doctor := range map[string]func(string) string{
+		"unknown field": func(line string) string {
+			return strings.Replace(line, `"trial":0`, `"trial":0,"bogus":1`, 1)
+		},
+		"old schema": func(line string) string {
+			return strings.Replace(line, SchemaVersion, "sweep/v1", 1)
+		},
+		"truncated": func(line string) string {
+			return line[:len(line)/2]
+		},
+	} {
+		lines := strings.SplitN(buf.String(), "\n", 2)
+		bad := doctor(lines[0]) + "\n" + lines[1]
+		if _, err := ParseRecords(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s: ParseRecords accepted a corrupt stream", name)
+		}
+	}
+}

@@ -41,6 +41,13 @@ type Config struct {
 	// Margins lists GPS threshold margins to sweep (default: 1.1, the
 	// calibration default). Self-hosted only.
 	Margins []float64
+	// Triage lists the triage-tier settings to sweep (true = screen
+	// windows through the analyzer's KNN tier, false = full pipeline on
+	// every window). Default: whatever the analyzer carries — [true]
+	// when it has a tier, [false] when it does not, so the default grid
+	// shape is unchanged. Self-hosted only; true requires an analyzer
+	// with a trained tier.
+	Triage []bool
 	// ChunkSeconds lists flight seconds per frames request (default: 2).
 	ChunkSeconds []float64
 	// FrameSeconds lists audio frame lengths (default: 0.05).
@@ -106,8 +113,16 @@ func (c Config) normalized() (Config, error) {
 				return c, fmt.Errorf("sweep: margin must be positive, got %g", m)
 			}
 		}
-	} else if len(c.KFModes) != 0 || len(c.Margins) != 0 {
-		return c, fmt.Errorf("sweep: the kf/margin axes sweep the analyzer's calibration, which an external server owns — drop them or self-host")
+		if len(c.Triage) == 0 {
+			c.Triage = []bool{c.Analyzer.Triage != nil}
+		}
+		for _, t := range c.Triage {
+			if t && c.Analyzer.Triage == nil {
+				return c, fmt.Errorf("sweep: triage=true cells need an analyzer with a trained triage tier (calibrate with -triage)")
+			}
+		}
+	} else if len(c.KFModes) != 0 || len(c.Margins) != 0 || len(c.Triage) != 0 {
+		return c, fmt.Errorf("sweep: the kf/margin/triage axes sweep the analyzer's calibration, which an external server owns — drop them or self-host")
 	}
 	if len(c.ChunkSeconds) == 0 {
 		c.ChunkSeconds = []float64{2}
@@ -215,10 +230,12 @@ func (c *Config) startHost(analyzer *soundboost.Analyzer) (*host, error) {
 	}, nil
 }
 
-// hostCell pairs a host with the (kf, margin) params its trials record.
+// hostCell pairs a host with the (kf, margin, triage) params its trials
+// record.
 type hostCell struct {
 	kf     string
 	margin float64
+	triage bool
 	host   *host
 }
 
@@ -233,8 +250,8 @@ type cell struct {
 // Run executes the sweep: synthesize the distinct flights, bring up the
 // per-(kf, margin) servers (or point at Addr), fan the trial matrix out
 // under the concurrency limiter, and roll the records up. Trials are
-// enumerated in a fixed nested order (kf, margin, chunk, frame, attack,
-// intensity, rep) and collected by index, so the output order — and
+// enumerated in a fixed nested order (kf, margin, triage, chunk, frame,
+// attack, intensity, rep) and collected by index, so the output order — and
 // with a fixed seed, every output byte — is deterministic regardless of
 // scheduling.
 func Run(ctx context.Context, cfg Config) (*Result, error) {
@@ -280,15 +297,20 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	} else {
 		for _, kf := range c.KFModes {
 			for _, margin := range c.Margins {
-				derived, err := c.Analyzer.WithGPSMargin(kf, margin)
-				if err != nil {
-					return nil, err
+				for _, tri := range c.Triage {
+					derived, err := c.Analyzer.WithGPSMargin(kf, margin)
+					if err != nil {
+						return nil, err
+					}
+					if !tri {
+						derived = derived.WithoutTriage()
+					}
+					h, err := c.startHost(derived)
+					if err != nil {
+						return nil, err
+					}
+					hosts = append(hosts, hostCell{kf: string(kf), margin: margin, triage: tri, host: h})
 				}
-				h, err := c.startHost(derived)
-				if err != nil {
-					return nil, err
-				}
-				hosts = append(hosts, hostCell{kf: string(kf), margin: margin, host: h})
 			}
 		}
 		c.logf("sweep: %d in-process server(s) up", len(hosts))
@@ -305,7 +327,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 						host:   hi,
 						flight: ki,
 						params: Params{
-							KF: h.kf, Margin: h.margin,
+							KF: h.kf, Margin: h.margin, Triage: h.triage,
 							ChunkSeconds: chunk, FrameSeconds: frame,
 							Attack: key.attack, Intensity: key.intensity, Rep: key.rep,
 						},

@@ -1,0 +1,31 @@
+package triage
+
+import "soundboost/internal/obs"
+
+// Per-tier observability: screened counts confident-benign windows that
+// skipped the full pipeline, escalated counts windows handed to it, and
+// fastpath_ratio is screened/(screened+escalated) over the process
+// lifetime. Registered on obs.Default like every other subsystem.
+var (
+	screenedTotal  = obs.Default.Counter("triage.screened")
+	escalatedTotal = obs.Default.Counter("triage.escalated")
+	fastpathRatio  = obs.Default.Gauge("triage.fastpath_ratio")
+	classifyTimer  = obs.Default.Timer("triage.classify")
+)
+
+func recordScreened() {
+	screenedTotal.Inc()
+	updateRatio()
+}
+
+func recordEscalated() {
+	escalatedTotal.Inc()
+	updateRatio()
+}
+
+func updateRatio() {
+	s, e := screenedTotal.Value(), escalatedTotal.Value()
+	if total := s + e; total > 0 {
+		fastpathRatio.Set(float64(s) / float64(total))
+	}
+}

@@ -1,0 +1,68 @@
+#!/bin/sh
+# bench_gate.sh — the CI perf-regression gate for the triage fast path.
+#
+# Runs a fresh instrumented throughput bench (benchtab -run throughput),
+# then compares it against the newest committed BENCH_<n>.json baseline
+# with `benchtab -compare OLD NEW -max-regress <tol>`: the gate fails
+# when flights/sec drops, or p99 per-flight latency rises, by more than
+# the tolerance (default 15%).
+#
+# Before trusting its own pass verdict, the script self-tests the gate
+# on an injected synthetic regression — the fresh report with halved
+# throughput and doubled p99 — which MUST fail the comparison. A gate
+# that cannot reject a 2x slowdown is broken, and that brokenness should
+# fail CI louder than any real regression.
+#
+# Environment:
+#   MAX_REGRESS       tolerance for -max-regress (default 15%)
+#   BENCH_GATE_SCALE  experiment scale for the fresh run (default bench)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+MAX_REGRESS="${MAX_REGRESS:-15%}"
+SCALE="${BENCH_GATE_SCALE:-bench}"
+
+# Newest committed baseline: the highest BENCH_<n>.json, starting at the
+# pre-triage BENCH_0.json.
+baseline=""
+n=0
+while [ -e "BENCH_$n.json" ]; do
+    baseline="BENCH_$n.json"
+    n=$((n + 1))
+done
+if [ -z "$baseline" ]; then
+    echo "bench_gate: no committed BENCH_<n>.json baseline (run make bench-json)" >&2
+    exit 1
+fi
+echo "bench_gate: baseline $baseline, tolerance $MAX_REGRESS, scale $SCALE"
+
+fresh="${TMPDIR:-/tmp}/bench_gate_$$.json"
+doctored="$fresh.regressed"
+trap 'rm -f "$fresh" "$doctored"' EXIT
+
+go run ./cmd/benchtab -scale "$SCALE" -run throughput -bench-json "$fresh"
+go run ./cmd/benchtab -validate-bench "$fresh"
+
+# Self-test: inject a synthetic regression and require the gate to fail.
+python3 - "$fresh" "$doctored" <<'EOF'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+tp = report["throughput"]
+tp["baseline_flights_per_sec"] /= 2
+if tp["triage_flights_per_sec"]:
+    tp["triage_flights_per_sec"] /= 2
+tp["baseline_p99_flight_seconds"] *= 2
+if tp["p99_flight_seconds"]:
+    tp["p99_flight_seconds"] *= 2
+json.dump(report, open(sys.argv[2], "w"))
+EOF
+if go run ./cmd/benchtab -compare "$baseline" "$doctored" -max-regress "$MAX_REGRESS" >/dev/null 2>&1; then
+    echo "bench_gate: SELF-TEST FAILED: an injected 2x slowdown passed the gate" >&2
+    exit 1
+fi
+echo "bench_gate: self-test ok (injected 2x slowdown rejected)"
+
+go run ./cmd/benchtab -compare "$baseline" "$fresh" -max-regress "$MAX_REGRESS"
+echo "bench_gate: OK"

@@ -83,7 +83,7 @@ echo "== confusion-matrix gate (pinned) =="
 # detectors, the chunker, or the streaming engine moves these counts.
 cat > "$tmp/want.rollup.json" <<'EOF'
 {
-  "schema_version": "sweep/v1",
+  "schema_version": "sweep/v2",
   "trials": 9,
   "flights": 3,
   "pooled": {

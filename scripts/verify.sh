@@ -12,6 +12,10 @@
 # staticcheck is enforced when the binary is present (and always in CI,
 # where the workflow installs it); locally it downgrades to a warning so
 # the gate stays dependency-free.
+#
+# Performance is gated separately: `make bench-gate` compares a fresh
+# throughput bench against the newest committed BENCH_<n>.json
+# (scripts/bench_gate.sh; CI runs it in the bench-gate job).
 set -eu
 
 cd "$(dirname "$0")/.."
