@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-gate cover verify verify-short staticcheck fmt live-smoke serve-smoke chaos-smoke sweep-smoke
+.PHONY: build test race bench bench-json bench-gate cover verify verify-short staticcheck fmt live-smoke serve-smoke chaos-smoke sweep-smoke fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -82,6 +82,15 @@ chaos-smoke:
 # detection accuracy.
 sweep-smoke:
 	sh scripts/sweep_smoke.sh
+
+# fleet-smoke shards the service across three journaled `soundboost
+# serve` replicas behind one consistent-hash `soundboost gateway`,
+# SIGKILLs the replica owning the in-flight session, and requires the
+# journal-backed handoff to finish the stream on a successor with a
+# verdict byte-identical to the single-node run (scripts/fleet_smoke.sh).
+# FLEET_BUILDFLAGS=-race builds every binary under the race detector.
+fleet-smoke:
+	sh scripts/fleet_smoke.sh
 
 fmt:
 	gofmt -w .

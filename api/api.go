@@ -57,16 +57,17 @@ const (
 // Error codes carried by Error.Code, the machine-readable counterpart
 // of the HTTP status.
 const (
-	CodeBadRequest       = "bad_request"        // 400: malformed or unknown-field body
-	CodeNotFound         = "not_found"          // 404: unknown route or session id
-	CodeConflict         = "conflict"           // 409: operation illegal in the session's state
-	CodeUnprocessable    = "unprocessable"      // 422: parsed but unusable payload
-	CodeCapacity         = "capacity"           // 429: session table or worker pool full
-	CodeInternal         = "internal"           // 500: server-side failure
-	CodeShuttingDown     = "shutting_down"      // 503: server is draining
-	CodeMethodNotAllowed = "method_not_allowed" // 405: wrong method on a known route
-	CodeSessionFailed    = "session_failed"     // 500: the session's engine died; cause recorded
-	CodeTimeout          = "timeout"            // 503: analysis exceeded its deadline and was shed
+	CodeBadRequest       = "bad_request"          // 400: malformed or unknown-field body
+	CodeNotFound         = "not_found"            // 404: unknown route or session id
+	CodeConflict         = "conflict"             // 409: operation illegal in the session's state
+	CodeUnprocessable    = "unprocessable"        // 422: parsed but unusable payload
+	CodeCapacity         = "capacity"             // 429: session table or worker pool full
+	CodeInternal         = "internal"             // 500: server-side failure
+	CodeShuttingDown     = "shutting_down"        // 503: server is draining
+	CodeMethodNotAllowed = "method_not_allowed"   // 405: wrong method on a known route
+	CodeSessionFailed    = "session_failed"       // 500: the session's engine died; cause recorded
+	CodeTimeout          = "timeout"              // 503: analysis exceeded its deadline and was shed
+	CodeUpstream         = "upstream_unavailable" // 503: fleet gateway found no reachable replica
 )
 
 // Error is the body of every non-2xx response.
@@ -278,4 +279,30 @@ type SessionStatus struct {
 	// FailCause records why a failed session died (state "failed" only).
 	FailCause string       `json:"fail_cause,omitempty"`
 	Engine    EngineStatus `json:"engine"`
+}
+
+// SessionJournal is the GET /v1/sessions/{id}/journal response: the
+// session's durable write-ahead log — its original SessionRequest plus
+// every acknowledged chunk, in acceptance order — packaged as one
+// document. It is the fleet handoff format: a gateway migrating a
+// session off a draining or dead replica replays Chunks through a
+// successor's normal publish path, and because the engine is
+// deterministic the successor's verdict is byte-identical to the one the
+// original replica would have produced. Requires the server to run with
+// journaling enabled.
+type SessionJournal struct {
+	SchemaVersion string `json:"schema_version"`
+	ID            string `json:"id"`
+	// Request reopens an equivalent session on the successor.
+	Request SessionRequest `json:"request"`
+	// State is the session's lifecycle state at export time.
+	State string `json:"state"`
+	// LastSeq is the highest acknowledged sequence number; Chunks holds
+	// exactly the acknowledged prefix, so len(Chunks) chunks replay
+	// cleanly into a fresh session.
+	LastSeq int `json:"last_seq"`
+	// FailCause records why a failed session died (state "failed" only).
+	FailCause string `json:"fail_cause,omitempty"`
+	// Chunks is the acknowledged chunk stream in acceptance order.
+	Chunks []FramesRequest `json:"chunks"`
 }

@@ -201,6 +201,17 @@ func schemaSamples() map[string]any {
 		},
 		"FramesResponse": FramesResponse{SchemaVersion: Version, Accepted: 42, Shed: 1, State: SessionDone},
 		"SessionStatus":  status,
+		"SessionJournal": SessionJournal{
+			SchemaVersion: Version,
+			ID:            "s-0001",
+			Request:       SessionRequest{Flight: "incident-17", SampleRateHz: 4000},
+			State:         SessionOpen,
+			LastSeq:       2,
+			Chunks: []FramesRequest{
+				{Seq: 1, IMU: []IMUSample{{TimeSeconds: 0.25}}},
+				{Seq: 2, GPS: []GPSSample{{TimeSeconds: 0.5}}},
+			},
+		},
 	}
 }
 

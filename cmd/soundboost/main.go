@@ -35,6 +35,16 @@
 //	soundboost push -addr http://127.0.0.1:8713 -flight incident.sbf -mode batch
 //	soundboost push -addr http://127.0.0.1:8713 -flight incident.sbf -mode session
 //
+// Shard the service across several serve replicas behind one
+// consistent-hash gateway. The gateway probes replica health, routes
+// each session to its ring-assigned replica, and migrates sessions off
+// draining or dead replicas by replaying their journals onto a
+// successor — clients just resend the last unacknowledged chunk:
+//
+//	soundboost serve -analyzer analyzer.json -addr :9001 -journal j1/
+//	soundboost serve -analyzer analyzer.json -addr :9002 -journal j2/
+//	soundboost gateway -addr :8712 -replica r1=http://127.0.0.1:9001=j1 -replica r2=http://127.0.0.1:9002=j2
+//
 // Soak the whole service under deterministic fault injection — message
 // drops, duplication, reordering, NaN/bit-flip corruption, clock skew,
 // mid-flight cutoff, an engine-killing poison pill and a hostile HTTP
@@ -94,7 +104,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: soundboost <train|calibrate|rca|live|serve|push|chaos|sweep> [flags]")
+		return fmt.Errorf("usage: soundboost <train|calibrate|rca|live|serve|gateway|push|chaos|sweep> [flags]")
 	}
 	switch args[0] {
 	case "train":
@@ -107,6 +117,8 @@ func run(args []string) error {
 		return runLive(args[1:])
 	case "serve":
 		return runServe(args[1:])
+	case "gateway":
+		return runGateway(args[1:])
 	case "push":
 		return runPush(args[1:])
 	case "chaos":
@@ -114,7 +126,7 @@ func run(args []string) error {
 	case "sweep":
 		return runSweep(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want train, calibrate, rca, live, serve, push, chaos or sweep)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want train, calibrate, rca, live, serve, gateway, push, chaos or sweep)", args[0])
 	}
 }
 

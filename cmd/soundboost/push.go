@@ -38,6 +38,7 @@ func runPush(args []string) error {
 		buffer     = fs.Int("buffer", 1<<15, "server-side per-topic buffer depth (session mode)")
 		retries    = fs.Int("retries", 8, "max retries per request for transient failures")
 		retryBase  = fs.Duration("retry-base", 200*time.Millisecond, "initial retry backoff (doubles per attempt, jittered)")
+		pace       = fs.Duration("pace", 0, "sleep between frames requests (session mode); paces the upload like a live source so mid-flight outages land inside it")
 	)
 	rt := addRuntimeFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -62,7 +63,7 @@ func runPush(args []string) error {
 	case "batch":
 		wire, err = pushBatch(client, base, *flightPath)
 	case "session":
-		wire, err = pushSession(client, base, flight, *frameSec, *chunkSec, *buffer)
+		wire, err = pushSession(client, base, flight, *frameSec, *chunkSec, *buffer, *pace)
 	default:
 		return fmt.Errorf("unknown -mode %q (want batch or session)", *mode)
 	}
@@ -107,7 +108,7 @@ func flightDuration(f *dataset.Flight) float64 {
 
 // pushSession streams the flight through a session: create, feed
 // sequence-numbered frame batches, read the final report.
-func pushSession(client *httpretry.Client, base string, flight *dataset.Flight, frameSec, chunkSec float64, buffer int) (api.Report, error) {
+func pushSession(client *httpretry.Client, base string, flight *dataset.Flight, frameSec, chunkSec float64, buffer int, pace time.Duration) (api.Report, error) {
 	var created api.SessionResponse
 	body, err := json.Marshal(api.SessionRequest{
 		Flight:       flight.Name,
@@ -134,6 +135,9 @@ func pushSession(client *httpretry.Client, base string, flight *dataset.Flight, 
 	sessURL := base + "/v1/sessions/" + created.ID
 	total, dups := 0, 0
 	for i, r := range reqs {
+		if pace > 0 && i > 0 {
+			time.Sleep(pace)
+		}
 		raw, err := json.Marshal(r)
 		if err != nil {
 			return api.Report{}, err

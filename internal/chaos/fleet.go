@@ -1,0 +1,123 @@
+package chaos
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"soundboost/internal/obs"
+)
+
+// Fleet-plane fault kinds (Fleet).
+const (
+	// KindReplicaKill records a whole replica killed without warning —
+	// no drain, no flush; its journal directory is all that survives.
+	KindReplicaKill Kind = "replica_kill"
+	// KindPartition blackholes traffic to a replica: requests addressed
+	// to its host fail with ErrInjectedReset while the replica itself
+	// keeps running. Heals without a restart — the asymmetric cousin of
+	// a kill.
+	KindPartition Kind = "partition"
+)
+
+// FleetKinds lists the fleet-plane fault kinds in stable order.
+var FleetKinds = []Kind{KindReplicaKill, KindPartition}
+
+// fleetKindCounter resolves the registry counter for one fleet fault
+// kind, matching the chaos.injected.<kind> convention of the other
+// fault planes.
+func fleetKindCounter(k Kind) *obs.Counter {
+	return obs.Default.Counter("chaos.injected." + string(k))
+}
+
+// Fleet injects replica-level faults for fleet soaks and tests: killing
+// whole replicas and partitioning them from the gateway. It pairs with
+// the message-plane Injector and the HTTP-plane Transport as the third
+// fault domain — process-level failure — and like them it keeps exact
+// per-kind counts for end-of-run reconciliation.
+type Fleet struct {
+	mu          sync.Mutex
+	partitioned map[string]bool // host ("127.0.0.1:8801") → blackholed
+	counts      map[Kind]int64
+}
+
+// NewFleet builds an empty fleet fault plane (nothing partitioned).
+func NewFleet() *Fleet {
+	return &Fleet{
+		partitioned: make(map[string]bool),
+		counts:      make(map[Kind]int64),
+	}
+}
+
+// Kill terminates one replica through its stop function (close a
+// listener, SIGKILL a process) and records the fault. The stop runs
+// under no lock — it may block on process teardown.
+func (f *Fleet) Kill(name string, stop func()) {
+	f.mu.Lock()
+	f.counts[KindReplicaKill]++
+	f.mu.Unlock()
+	fleetKindCounter(KindReplicaKill).Inc()
+	if stop != nil {
+		stop()
+	}
+}
+
+// Partition blackholes all traffic to host (as it appears in request
+// URLs, e.g. "127.0.0.1:8801"). Idempotent; each call that newly cuts a
+// host counts one fault.
+func (f *Fleet) Partition(host string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.partitioned[host] {
+		return
+	}
+	f.partitioned[host] = true
+	f.counts[KindPartition]++
+	fleetKindCounter(KindPartition).Inc()
+}
+
+// Heal restores traffic to host.
+func (f *Fleet) Heal(host string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.partitioned, host)
+}
+
+// Counts returns an exact snapshot of the fleet faults injected so far.
+func (f *Fleet) Counts() map[Kind]int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[Kind]int64, len(f.counts))
+	for k, v := range f.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Transport wraps base (nil = http.DefaultTransport) so requests to a
+// partitioned host fail with ErrInjectedReset before touching the
+// network — the replica stays up, the gateway just cannot reach it.
+func (f *Fleet) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &partitionTransport{fleet: f, base: base}
+}
+
+type partitionTransport struct {
+	fleet *Fleet
+	base  http.RoundTripper
+}
+
+func (t *partitionTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.fleet.mu.Lock()
+	cut := t.fleet.partitioned[req.URL.Host]
+	t.fleet.mu.Unlock()
+	if cut {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("%w: partitioned host %s", ErrInjectedReset, req.URL.Host)
+	}
+	return t.base.RoundTrip(req)
+}

@@ -1,0 +1,69 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestFleetKillCounts pins the kill accounting: each Kill runs the stop
+// hook exactly once and counts one replica_kill, nil stops included.
+func TestFleetKillCounts(t *testing.T) {
+	f := NewFleet()
+	stopped := 0
+	f.Kill("r1", func() { stopped++ })
+	f.Kill("r2", nil)
+	if stopped != 1 {
+		t.Fatalf("stop hook ran %d times, want 1", stopped)
+	}
+	if got := f.Counts()[KindReplicaKill]; got != 2 {
+		t.Fatalf("replica_kill count = %d, want 2", got)
+	}
+}
+
+// TestFleetPartitionTransport pins the partition plane: requests to a
+// partitioned host fail with ErrInjectedReset before touching the
+// network, other hosts pass through, Partition is idempotent in its
+// accounting, and Heal restores traffic without a restart.
+func TestFleetPartitionTransport(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "up")
+	}))
+	defer ts.Close()
+	host := ts.Listener.Addr().String()
+
+	f := NewFleet()
+	client := &http.Client{Transport: f.Transport(nil)}
+	get := func() error {
+		resp, err := client.Get(ts.URL)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return err
+	}
+
+	if err := get(); err != nil {
+		t.Fatalf("unpartitioned request failed: %v", err)
+	}
+	f.Partition(host)
+	f.Partition(host) // idempotent: still one fault
+	err := get()
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("partitioned request error = %v, want ErrInjectedReset", err)
+	}
+	f.Partition("10.0.0.1:1") // a different host: second fault
+	if got := f.Counts()[KindPartition]; got != 2 {
+		t.Fatalf("partition count = %d, want 2", got)
+	}
+	f.Heal(host)
+	if err := get(); err != nil {
+		t.Fatalf("healed request failed: %v", err)
+	}
+	// The replica itself never died: only the path to it was cut.
+	if got := f.Counts()[KindReplicaKill]; got != 0 {
+		t.Fatalf("replica_kill count = %d, want 0", got)
+	}
+}

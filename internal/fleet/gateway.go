@@ -1,0 +1,787 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"soundboost/api"
+	"soundboost/internal/httpretry"
+	"soundboost/internal/journal"
+)
+
+// Replica is one `soundboost serve` backend behind the gateway.
+type Replica struct {
+	// Name keys the replica on the hash ring and in metrics
+	// (fleet.routed.<name>).
+	Name string
+	// BaseURL is the replica's HTTP root, e.g. "http://127.0.0.1:8801".
+	BaseURL string
+	// JournalDir, when set, is the replica's journal directory as seen
+	// from the gateway process. It is the failover source of last resort:
+	// when the replica is dead (no live export possible), the gateway
+	// reads the session's write-ahead log straight from disk and replays
+	// it onto a successor.
+	JournalDir string
+}
+
+// Config tunes the gateway. The zero value of each field selects the
+// default noted on it.
+type Config struct {
+	// Replicas is the fleet (at least one; names must be unique).
+	Replicas []Replica
+	// VNodes is the virtual-node count per replica (default 64).
+	VNodes int
+	// ProbeInterval is the health-check cadence (default 500ms).
+	ProbeInterval time.Duration
+	// DownAfter / UpAfter are the hysteresis thresholds: consecutive
+	// failed probes before mark-down, consecutive good probes before
+	// mark-up (default 2 each).
+	DownAfter int
+	UpAfter   int
+	// Retries / RetryBase tune the forwarding client's retry budget
+	// (defaults 3 / 100ms). 429s from a replica honor its Retry-After.
+	Retries   int
+	RetryBase time.Duration
+	// Seed makes the forwarding client's backoff jitter reproducible.
+	Seed int64
+	// MaxBodyBytes caps request bodies (default 256 MiB).
+	MaxBodyBytes int64
+	// Transport overrides the forwarding/probe transport (chaos partition
+	// injection in tests; nil = http.DefaultTransport).
+	Transport http.RoundTripper
+	// Logf receives one line per routing event (default: silent).
+	Logf func(format string, a ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 2
+	}
+	if c.UpAfter <= 0 {
+		c.UpAfter = 2
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 100 * time.Millisecond
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// route is the gateway's record of one placed session: which replica
+// holds it and under what backend id. Its mutex serializes forwarding
+// and failover per session, so a migration never interleaves with a
+// chunk post for the same session.
+type route struct {
+	gwID string
+
+	mu        sync.Mutex
+	replica   string
+	backendID string
+	lastSeq   int // highest acknowledged Seq seen through this gateway
+}
+
+// Gateway re-serves the single-node /v1 surface over a fleet of
+// replicas. Sessions are placed by consistent-hashing the gateway's own
+// session id; batch flights round-robin over healthy replicas. When a
+// replica dies or drains mid-session, the gateway migrates the session:
+// it fetches the session's journal (live export, or the journal
+// directory when the replica is gone), replays it through a successor's
+// normal publish path — the engine is deterministic, so the successor
+// converges to the byte-identical verdict — and re-pins the session's
+// hash slot to the successor.
+type Gateway struct {
+	cfg      Config
+	replicas map[string]Replica
+	ring     *Ring
+	health   *Health
+	client   *httpretry.Client
+	probeHC  *http.Client
+	mux      *http.ServeMux
+
+	mu       sync.Mutex
+	routes   map[string]*route
+	nextID   int
+	rrFlight int // round-robin cursor for batch flights
+	draining bool
+
+	wg        sync.WaitGroup // in-flight evacuations
+	probeStop chan struct{}
+	probeDone chan struct{}
+}
+
+// New builds a gateway over the fleet and starts its health probe loop.
+// Callers must Shutdown to stop it.
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("fleet: no replicas configured")
+	}
+	g := &Gateway{
+		cfg:       cfg,
+		replicas:  make(map[string]Replica, len(cfg.Replicas)),
+		ring:      NewRing(cfg.VNodes),
+		routes:    make(map[string]*route),
+		probeStop: make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
+	names := make([]string, 0, len(cfg.Replicas))
+	for _, r := range cfg.Replicas {
+		if r.Name == "" || r.BaseURL == "" {
+			return nil, fmt.Errorf("fleet: replica needs name and base URL: %+v", r)
+		}
+		if _, dup := g.replicas[r.Name]; dup {
+			return nil, fmt.Errorf("fleet: duplicate replica name %q", r.Name)
+		}
+		g.replicas[r.Name] = r
+		g.ring.Add(r.Name)
+		names = append(names, r.Name)
+	}
+	g.health = NewHealth(names, cfg.DownAfter, cfg.UpAfter)
+	replicasUp.Set(float64(len(names)))
+	hc := &http.Client{Transport: cfg.Transport}
+	g.client = httpretry.New(hc, cfg.Retries, cfg.RetryBase, cfg.Seed)
+	g.client.Logf = cfg.Logf
+	// Probe timeout is tied to the cadence but floored at 1s: a loaded
+	// replica answering healthz slowly is degraded, not dead, and a
+	// too-tight timeout would flap it down spuriously.
+	probeTimeout := 2 * cfg.ProbeInterval
+	if probeTimeout < time.Second {
+		probeTimeout = time.Second
+	}
+	g.probeHC = &http.Client{Transport: cfg.Transport, Timeout: probeTimeout}
+	g.mux = g.routesMux()
+	go g.probeLoop()
+	return g, nil
+}
+
+func (g *Gateway) logf(format string, a ...any) { g.cfg.Logf(format, a...) }
+
+func (g *Gateway) base(replica string) string { return g.replicas[replica].BaseURL }
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)
+	g.mux.ServeHTTP(w, r)
+}
+
+func (g *Gateway) routesMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /"+api.Version+"/flights", g.handleFlights)
+	mux.HandleFunc("POST /"+api.Version+"/sessions", g.handleSessionCreate)
+	mux.HandleFunc("POST /"+api.Version+"/sessions/{id}/frames", g.handleFrames)
+	mux.HandleFunc("GET /"+api.Version+"/sessions/{id}/report", g.handleReport)
+	mux.HandleFunc("GET /"+api.Version+"/sessions/{id}/status", g.handleStatus)
+	mux.HandleFunc("GET /"+api.Version+"/sessions/{id}/journal", g.handleJournal)
+	mux.HandleFunc("GET /"+api.Version+"/healthz", g.handleHealthz)
+	return mux
+}
+
+// --- health probing ---
+
+// probeLoop polls every replica's /v1/healthz on the configured cadence
+// and folds the outcomes through the hysteretic health tracker. A
+// replica that transitions down is removed from the ring (new sessions
+// stop landing on it); one that recovers is re-added — but sessions
+// already migrated away stay with their successor via their pins.
+func (g *Gateway) probeLoop() {
+	defer close(g.probeDone)
+	t := time.NewTicker(g.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.probeStop:
+			return
+		case <-t.C:
+		}
+		for name, rep := range g.replicas {
+			err := g.probe(rep)
+			transitioned, up := g.health.Observe(name, err)
+			if !transitioned {
+				continue
+			}
+			healthTransitions.Inc()
+			if up {
+				g.ring.Add(name)
+				g.logf("replica %s up", name)
+			} else {
+				g.ring.Remove(name)
+				g.logf("replica %s down: %v", name, err)
+				// Evacuate proactively: sessions on a draining replica
+				// migrate while it can still serve journal exports; a dead
+				// replica's sessions migrate from its journal directory
+				// without waiting for client traffic to trip over it.
+				g.wg.Add(1)
+				go func(name string) {
+					defer g.wg.Done()
+					g.evacuate(name)
+				}(name)
+			}
+			replicasUp.Set(float64(g.health.UpCount()))
+		}
+	}
+}
+
+// probe performs one health check. A replica that answers but reports
+// "draining" is treated as failing: it must stop receiving new sessions,
+// and its open sessions fail over on their next request.
+func (g *Gateway) probe(rep Replica) error {
+	resp, err := g.probeHC.Get(rep.BaseURL + "/" + api.Version + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var h api.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return fmt.Errorf("healthz decode: %w", err)
+	}
+	if h.Status != "ok" {
+		return fmt.Errorf("healthz status %q", h.Status)
+	}
+	return nil
+}
+
+// --- placement and failover ---
+
+// failoverWorthy reports whether a forwarding error means the replica
+// (not the request) is the problem: a transport failure, a replica
+// mid-drain, or a replica that restarted without the session. API-level
+// answers (409 conflict, 422, 429, a failed session's 500) are the
+// service speaking and must surface to the client unchanged.
+func failoverWorthy(err error) bool {
+	var se *httpretry.StatusError
+	if !errors.As(err, &se) {
+		return true // transport-level: the replica never answered
+	}
+	switch se.Code {
+	case api.CodeShuttingDown, api.CodeNotFound:
+		// Draining replica, or a replica that came back empty-handed
+		// after a crash (the journal still has the session).
+		return true
+	}
+	return false
+}
+
+// pickSuccessor returns the first healthy replica other than exclude in
+// the session's ring preference order.
+func (g *Gateway) pickSuccessor(gwID, exclude string) (string, bool) {
+	for _, name := range g.ring.Successors(gwID, len(g.replicas)) {
+		if name != exclude && g.health.Up(name) {
+			return name, true
+		}
+	}
+	// The ring may have already dropped every healthy candidate's vnodes
+	// (e.g. mid-transition); fall back to any healthy member.
+	for name := range g.replicas {
+		if name != exclude && g.health.Up(name) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// exportJournal fetches the session's durable journal for migration:
+// from the replica itself while it can still answer (the drain case),
+// else straight from its journal directory (the SIGKILL case).
+func (g *Gateway) exportJournal(rt *route) (api.SessionJournal, error) {
+	var exp api.SessionJournal
+	liveErr := g.client.Do("GET", g.base(rt.replica)+"/"+api.Version+"/sessions/"+rt.backendID+"/journal", nil, &exp)
+	if liveErr == nil {
+		return exp, nil
+	}
+	dir := g.replicas[rt.replica].JournalDir
+	if dir == "" {
+		return exp, fmt.Errorf("fleet: journal export from %s failed and no journal dir configured: %w", rt.replica, liveErr)
+	}
+	st, err := journal.Open(dir)
+	if err != nil {
+		return exp, fmt.Errorf("fleet: journal dir for %s: %w", rt.replica, err)
+	}
+	rec, err := st.LoadSession(rt.backendID)
+	if err != nil {
+		return exp, fmt.Errorf("fleet: journal read for %s/%s: %w", rt.replica, rt.backendID, err)
+	}
+	if rec.Corrupt != "" {
+		return exp, fmt.Errorf("fleet: journal for %s/%s unreadable: %s", rt.replica, rt.backendID, rec.Corrupt)
+	}
+	return api.SessionJournal{
+		SchemaVersion: api.Version,
+		ID:            rt.backendID,
+		Request:       rec.Meta.Req,
+		State:         rec.Meta.State,
+		LastSeq:       rec.Meta.LastSeq,
+		FailCause:     rec.Meta.FailCause,
+		Chunks:        rec.Chunks,
+	}, nil
+}
+
+// failoverLocked migrates rt's session to a successor replica: export
+// the journal, open a fresh session with the original request, replay
+// every acknowledged chunk through the successor's normal publish path,
+// and re-pin the session's hash slot. Caller holds rt.mu.
+func (g *Gateway) failoverLocked(rt *route) error {
+	failoverAttempts.Inc()
+	from := rt.replica
+	// React faster than the probe cadence: the forwarding failure that
+	// got us here is evidence enough to stop placing new sessions there.
+	if g.health.MarkDown(from) {
+		healthTransitions.Inc()
+		g.ring.Remove(from)
+		replicasUp.Set(float64(g.health.UpCount()))
+		g.logf("replica %s down (forwarding failure)", from)
+	}
+	exp, err := g.exportJournal(rt)
+	if err != nil {
+		failoverFailed.Inc()
+		return err
+	}
+	target, ok := g.pickSuccessor(rt.gwID, from)
+	if !ok {
+		failoverFailed.Inc()
+		return fmt.Errorf("fleet: no healthy successor for session %s", rt.gwID)
+	}
+	body, err := json.Marshal(exp.Request)
+	if err != nil {
+		failoverFailed.Inc()
+		return err
+	}
+	var created api.SessionResponse
+	if err := g.client.Do("POST", g.base(target)+"/"+api.Version+"/sessions", body, &created); err != nil {
+		failoverFailed.Inc()
+		return fmt.Errorf("fleet: successor %s rejected session: %w", target, err)
+	}
+	for _, c := range exp.Chunks {
+		raw, err := json.Marshal(c)
+		if err != nil {
+			failoverFailed.Inc()
+			return err
+		}
+		var fr api.FramesResponse
+		if err := g.client.Do("POST", g.base(target)+"/"+api.Version+"/sessions/"+created.ID+"/frames", raw, &fr); err != nil {
+			failoverFailed.Inc()
+			return fmt.Errorf("fleet: replay chunk %d onto %s: %w", c.Seq, target, err)
+		}
+		failoverChunks.Inc()
+	}
+	// The successor's stream state is now exactly what the CLIENT asked
+	// for: a journaled Close chunk re-closed it during replay; absent
+	// one, it stays open even if the exported state was terminal — a
+	// close the client never requested (drain, idle timeout) must not
+	// lock the migrated session against a client mid-upload. The client
+	// finishes the stream, or the successor's janitor re-times it out.
+	g.ring.Pin(rt.gwID, target)
+	rt.replica, rt.backendID = target, created.ID
+	failoverSuccess.Inc()
+	g.logf("session %s failed over %s -> %s (%d chunk(s) replayed, last_seq %d)",
+		rt.gwID, from, target, len(exp.Chunks), exp.LastSeq)
+	return nil
+}
+
+// evacuate migrates every session currently routed to a downed replica.
+// Run by the probe loop on a mark-down transition, so sessions move off
+// a draining replica while its journal-export endpoint still answers,
+// and off a dead one without waiting for client traffic to trip over it.
+func (g *Gateway) evacuate(name string) {
+	g.mu.Lock()
+	rts := make([]*route, 0, len(g.routes))
+	for _, rt := range g.routes {
+		rts = append(rts, rt)
+	}
+	g.mu.Unlock()
+	for _, rt := range rts {
+		rt.mu.Lock()
+		// Re-check under the route lock: a frames request may have
+		// already migrated it.
+		if rt.replica == name {
+			if err := g.failoverLocked(rt); err != nil {
+				g.logf("session %s evacuation from %s failed: %v", rt.gwID, name, err)
+			}
+		}
+		rt.mu.Unlock()
+	}
+}
+
+// Placement reports which replica currently holds a gateway session —
+// observability for operators and the fleet tests.
+func (g *Gateway) Placement(gwID string) (replica string, ok bool) {
+	rt, ok := g.lookupRoute(gwID)
+	if !ok {
+		return "", false
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.replica, true
+}
+
+// forward sends one request for rt's session, failing over (once) when
+// the replica itself is the problem. Caller holds rt.mu.
+func (g *Gateway) forwardLocked(rt *route, method, suffix string, body []byte, out any) error {
+	err := g.client.Do(method, g.base(rt.replica)+"/"+api.Version+"/sessions/"+rt.backendID+suffix, body, out)
+	if err == nil || !failoverWorthy(err) {
+		return err
+	}
+	if ferr := g.failoverLocked(rt); ferr != nil {
+		return fmt.Errorf("%w (failover: %v)", err, ferr)
+	}
+	return g.client.Do(method, g.base(rt.replica)+"/"+api.Version+"/sessions/"+rt.backendID+suffix, body, out)
+}
+
+// --- handlers ---
+
+func (g *Gateway) lookupRoute(id string) (*route, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rt, ok := g.routes[id]
+	return rt, ok
+}
+
+// healthyOrder returns the healthy replicas starting at the round-robin
+// cursor — the batch-flight placement order.
+func (g *Gateway) healthyOrder() []string {
+	members := g.ring.Members()
+	if len(members) == 0 {
+		return nil
+	}
+	g.mu.Lock()
+	start := g.rrFlight
+	g.rrFlight++
+	g.mu.Unlock()
+	out := make([]string, 0, len(members))
+	for i := 0; i < len(members); i++ {
+		name := members[(start+i)%len(members)]
+		if g.health.Up(name) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// handleFlights forwards a batch upload to a healthy replica,
+// round-robin, advancing to the next on transport failure.
+func (g *Gateway) handleFlights(w http.ResponseWriter, r *http.Request) {
+	g.mu.Lock()
+	draining := g.draining
+	g.mu.Unlock()
+	if draining {
+		g.writeError(w, http.StatusServiceUnavailable, api.CodeShuttingDown, "gateway: shutting down")
+		return
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		g.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	var lastErr error
+	for _, name := range g.healthyOrder() {
+		var out api.FlightResponse
+		err := g.client.Do("POST", g.base(name)+"/"+api.Version+"/flights", buf.Bytes(), &out)
+		if err == nil {
+			routedTo(name).Inc()
+			g.writeJSON(w, http.StatusOK, out)
+			return
+		}
+		lastErr = err
+		if !failoverWorthy(err) {
+			g.writeUpstreamError(w, err)
+			return
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no healthy replicas")
+	}
+	g.writeError(w, http.StatusServiceUnavailable, api.CodeUpstream, fmt.Sprintf("gateway: %v", lastErr))
+}
+
+// handleSessionCreate places a session: the gateway allocates its own id
+// (the hash key), consistent-hashes it to a replica, and opens the
+// backend session there. The client only ever sees the gateway id.
+func (g *Gateway) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req api.SessionRequest
+	if err := api.DecodeStrict(r.Body, &req); err != nil {
+		g.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	g.mu.Lock()
+	if g.draining {
+		g.mu.Unlock()
+		g.writeError(w, http.StatusServiceUnavailable, api.CodeShuttingDown, "gateway: shutting down")
+		return
+	}
+	g.nextID++
+	gwID := fmt.Sprintf("g-%08d", g.nextID)
+	g.mu.Unlock()
+
+	owner, ok := g.ring.Lookup(gwID)
+	if !ok {
+		g.writeError(w, http.StatusServiceUnavailable, api.CodeUpstream, "gateway: no healthy replicas")
+		return
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		g.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	// Preference order: ring owner first, then its successors. A replica
+	// that refuses with an API-level answer (429 capacity, 422) speaks
+	// for the fleet — surface it; only replica-level failures advance.
+	tried := map[string]bool{}
+	candidates := append([]string{owner}, g.ring.Successors(gwID, len(g.replicas))...)
+	var lastErr error
+	for _, name := range candidates {
+		if tried[name] || !g.health.Up(name) {
+			continue
+		}
+		tried[name] = true
+		var created api.SessionResponse
+		err := g.client.Do("POST", g.base(name)+"/"+api.Version+"/sessions", body, &created)
+		if err == nil {
+			rt := &route{gwID: gwID, replica: name, backendID: created.ID}
+			g.mu.Lock()
+			g.routes[gwID] = rt
+			g.mu.Unlock()
+			if name != owner {
+				// Hash said owner, health said otherwise: pin so every
+				// later lookup agrees with where the session actually is.
+				g.ring.Pin(gwID, name)
+			}
+			sessionsRouted.Inc()
+			routedTo(name).Inc()
+			g.logf("session %s -> %s/%s (flight %q)", gwID, name, created.ID, req.Flight)
+			g.writeJSON(w, http.StatusCreated, api.SessionResponse{
+				SchemaVersion: created.SchemaVersion,
+				ID:            gwID,
+				State:         created.State,
+			})
+			return
+		}
+		lastErr = err
+		if !failoverWorthy(err) {
+			g.writeUpstreamError(w, err)
+			return
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no healthy replicas")
+	}
+	g.writeError(w, http.StatusServiceUnavailable, api.CodeUpstream, fmt.Sprintf("gateway: %v", lastErr))
+}
+
+// handleFrames forwards a chunk to the session's replica, migrating the
+// session first if that replica is gone. The chunk itself rides the
+// sequence-number contract: after a mid-flight failover the replay
+// restored every acknowledged chunk, so the client's in-flight resend is
+// either the next expected Seq (accepted) or an already-replayed one
+// (acknowledged as duplicate).
+func (g *Gateway) handleFrames(w http.ResponseWriter, r *http.Request) {
+	rt, ok := g.lookupRoute(r.PathValue("id"))
+	if !ok {
+		g.writeError(w, http.StatusNotFound, api.CodeNotFound, fmt.Sprintf("unknown session %q", r.PathValue("id")))
+		return
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		g.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	var req api.FramesRequest
+	if err := api.DecodeStrict(bytes.NewReader(buf.Bytes()), &req); err != nil {
+		g.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var out api.FramesResponse
+	if err := g.forwardLocked(rt, "POST", "/frames", buf.Bytes(), &out); err != nil {
+		g.writeUpstreamError(w, err)
+		return
+	}
+	if req.Seq > rt.lastSeq {
+		rt.lastSeq = req.Seq
+	}
+	g.writeJSON(w, http.StatusOK, out)
+}
+
+// handleReport forwards a report read, failing the session over first if
+// its replica died before serving the verdict — the journal replay
+// reproduces it on the successor.
+func (g *Gateway) handleReport(w http.ResponseWriter, r *http.Request) {
+	rt, ok := g.lookupRoute(r.PathValue("id"))
+	if !ok {
+		g.writeError(w, http.StatusNotFound, api.CodeNotFound, fmt.Sprintf("unknown session %q", r.PathValue("id")))
+		return
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var out json.RawMessage
+	if err := g.forwardLocked(rt, "GET", "/report", nil, &out); err != nil {
+		g.writeUpstreamError(w, err)
+		return
+	}
+	g.writeJSON(w, http.StatusOK, out)
+}
+
+// handleStatus forwards a status read and rewrites the backend session
+// id to the gateway's — clients address sessions only by gateway id.
+func (g *Gateway) handleStatus(w http.ResponseWriter, r *http.Request) {
+	rt, ok := g.lookupRoute(r.PathValue("id"))
+	if !ok {
+		g.writeError(w, http.StatusNotFound, api.CodeNotFound, fmt.Sprintf("unknown session %q", r.PathValue("id")))
+		return
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var st api.SessionStatus
+	if err := g.forwardLocked(rt, "GET", "/status", nil, &st); err != nil {
+		g.writeUpstreamError(w, err)
+		return
+	}
+	st.ID = rt.gwID
+	g.writeJSON(w, http.StatusOK, st)
+}
+
+// handleJournal forwards a journal export, rewriting the id like status.
+func (g *Gateway) handleJournal(w http.ResponseWriter, r *http.Request) {
+	rt, ok := g.lookupRoute(r.PathValue("id"))
+	if !ok {
+		g.writeError(w, http.StatusNotFound, api.CodeNotFound, fmt.Sprintf("unknown session %q", r.PathValue("id")))
+		return
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var exp api.SessionJournal
+	if err := g.forwardLocked(rt, "GET", "/journal", nil, &exp); err != nil {
+		g.writeUpstreamError(w, err)
+		return
+	}
+	exp.ID = rt.gwID
+	g.writeJSON(w, http.StatusOK, exp)
+}
+
+// handleHealthz reports fleet-level liveness: "ok" while every replica
+// is up, "degraded" when some are down, "draining" during shutdown.
+// Occupancy aggregates the up replicas' own healthz answers.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	g.mu.Lock()
+	draining := g.draining
+	sessions := len(g.routes)
+	g.mu.Unlock()
+	status := "ok"
+	if g.health.UpCount() < len(g.replicas) {
+		status = "degraded"
+	}
+	if draining {
+		status = "draining"
+	}
+	agg := api.Health{
+		SchemaVersion:  api.Version,
+		Status:         status,
+		ActiveSessions: sessions,
+	}
+	for name, rep := range g.replicas {
+		if !g.health.Up(name) {
+			continue
+		}
+		resp, err := g.probeHC.Get(rep.BaseURL + "/" + api.Version + "/healthz")
+		if err != nil {
+			continue
+		}
+		var h api.Health
+		if json.NewDecoder(resp.Body).Decode(&h) == nil {
+			agg.SessionCap += h.SessionCap
+			agg.JobsInFlight += h.JobsInFlight
+			agg.JobCap += h.JobCap
+		}
+		resp.Body.Close()
+	}
+	g.writeJSON(w, http.StatusOK, agg)
+}
+
+// --- lifecycle ---
+
+// Shutdown drains the gateway: new sessions and batch flights are
+// refused (503 shutting_down), the probe loop stops, and existing
+// sessions keep flowing — frames, failover, and report reads continue —
+// until every tracked session reaches a terminal state or ctx expires.
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	g.mu.Lock()
+	already := g.draining
+	g.draining = true
+	open := make([]*route, 0, len(g.routes))
+	for _, rt := range g.routes {
+		open = append(open, rt)
+	}
+	g.mu.Unlock()
+	if !already {
+		close(g.probeStop)
+		<-g.probeDone
+		g.wg.Wait() // let in-flight evacuations settle
+		g.logf("drain: %d tracked session(s)", len(open))
+	}
+	for {
+		pending := 0
+		for _, rt := range open {
+			rt.mu.Lock()
+			var st api.SessionStatus
+			err := g.client.Do("GET", g.base(rt.replica)+"/"+api.Version+"/sessions/"+rt.backendID+"/status", nil, &st)
+			rt.mu.Unlock()
+			if err == nil && st.State != api.SessionDone && st.State != api.SessionFailed {
+				pending++
+			}
+		}
+		if pending == 0 {
+			g.logf("drain: complete")
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// --- response plumbing ---
+
+func (g *Gateway) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (g *Gateway) writeError(w http.ResponseWriter, status int, code, msg string) {
+	g.writeJSON(w, status, api.Error{Code: code, Error: msg})
+}
+
+// writeUpstreamError relays a forwarding failure: an API-level answer
+// from the replica passes through with its original status and code (the
+// gateway is transparent to the service's own error contract); a
+// transport-level failure becomes 503 upstream_unavailable.
+func (g *Gateway) writeUpstreamError(w http.ResponseWriter, err error) {
+	var se *httpretry.StatusError
+	if errors.As(err, &se) {
+		g.writeError(w, se.Status, se.Code, se.Message)
+		return
+	}
+	g.writeError(w, http.StatusServiceUnavailable, api.CodeUpstream, fmt.Sprintf("gateway: %v", err))
+}

@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+)
+
+var errProbe = errors.New("probe failed")
+
+// TestHealthHysteresis walks the state machine: one failure is absorbed,
+// DownAfter consecutive failures transition down, one success while down
+// is absorbed, UpAfter consecutive successes transition up — and mixed
+// outcomes reset the streaks.
+func TestHealthHysteresis(t *testing.T) {
+	h := NewHealth([]string{"r1"}, 3, 2)
+	if !h.Up("r1") {
+		t.Fatal("replicas must start up")
+	}
+	// Two failures: still up (streak < DownAfter).
+	for i := 0; i < 2; i++ {
+		if tr, _ := h.Observe("r1", errProbe); tr {
+			t.Fatalf("transitioned after %d failures, DownAfter=3", i+1)
+		}
+	}
+	// A success resets the failure streak.
+	h.Observe("r1", nil)
+	for i := 0; i < 2; i++ {
+		if tr, _ := h.Observe("r1", errProbe); tr {
+			t.Fatal("failure streak not reset by intervening success")
+		}
+	}
+	// Third consecutive failure: down.
+	tr, up := h.Observe("r1", errProbe)
+	if !tr || up {
+		t.Fatalf("Observe = (%v, %v), want transition to down", tr, up)
+	}
+	if h.Up("r1") || h.UpCount() != 0 {
+		t.Fatal("state not down after transition")
+	}
+	// One success while down: absorbed (streak < UpAfter).
+	if tr, _ := h.Observe("r1", nil); tr {
+		t.Fatal("came back up after one success, UpAfter=2")
+	}
+	// A failure resets the success streak.
+	h.Observe("r1", errProbe)
+	h.Observe("r1", nil)
+	if tr, _ := h.Observe("r1", nil); !tr {
+		t.Fatal("no transition up after UpAfter consecutive successes")
+	}
+	if !h.Up("r1") {
+		t.Fatal("state not up after recovery")
+	}
+	// Steady-state success: no spurious transitions.
+	if tr, _ := h.Observe("r1", nil); tr {
+		t.Fatal("transition reported with no state change")
+	}
+}
+
+// TestHealthMarkDown pins the fast path: a forwarding failure forces
+// down immediately, skipping the probe hysteresis, and recovery still
+// requires the full UpAfter streak.
+func TestHealthMarkDown(t *testing.T) {
+	h := NewHealth([]string{"r1", "r2"}, 3, 2)
+	if !h.MarkDown("r1") {
+		t.Fatal("MarkDown on an up replica must transition")
+	}
+	if h.MarkDown("r1") {
+		t.Fatal("MarkDown must be idempotent")
+	}
+	if h.Up("r1") || !h.Up("r2") || h.UpCount() != 1 {
+		t.Fatal("MarkDown leaked to the wrong replica")
+	}
+	h.Observe("r1", nil)
+	if tr, up := h.Observe("r1", nil); !tr || !up {
+		t.Fatal("marked-down replica cannot recover through probes")
+	}
+}
+
+// TestHealthUnknownReplica keeps unknown names inert.
+func TestHealthUnknownReplica(t *testing.T) {
+	h := NewHealth([]string{"r1"}, 2, 2)
+	if tr, _ := h.Observe("ghost", nil); tr {
+		t.Fatal("unknown replica transitioned")
+	}
+	if h.Up("ghost") || h.MarkDown("ghost") {
+		t.Fatal("unknown replica is not down/inert")
+	}
+}

@@ -1,0 +1,9 @@
+package fleet
+
+import (
+	"testing"
+
+	"soundboost/internal/leakcheck"
+)
+
+func TestMain(m *testing.M) { leakcheck.Main(m) }

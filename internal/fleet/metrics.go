@@ -1,0 +1,25 @@
+package fleet
+
+import "soundboost/internal/obs"
+
+// Gateway metrics, gated by obs.Enable (serve with -debug-addr).
+// fleet.routed.* splits forwarded requests by destination replica so an
+// unbalanced ring shows up in the snapshot; fleet.failover.* counts
+// session migrations — attempts, successes, and sessions lost because no
+// journal (or no successor) was available.
+var (
+	sessionsRouted = obs.Default.Counter("fleet.sessions.opened")
+	routedTo       = func(replica string) *obs.Counter {
+		return obs.Default.Counter("fleet.routed." + replica)
+	}
+	failoverAttempts = obs.Default.Counter("fleet.failover.attempts")
+	failoverSuccess  = obs.Default.Counter("fleet.failover.success")
+	failoverFailed   = obs.Default.Counter("fleet.failover.failed")
+	// failover.chunks counts journal chunks replayed into successor
+	// replicas during migrations.
+	failoverChunks = obs.Default.Counter("fleet.failover.chunks")
+	replicasUp     = obs.Default.Gauge("fleet.replicas.up")
+	// health.transitions counts mark-down + mark-up events (hysteresis
+	// already applied).
+	healthTransitions = obs.Default.Counter("fleet.health.transitions")
+)

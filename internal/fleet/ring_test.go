@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("g-%08d", i+1)
+	}
+	return out
+}
+
+// TestRingDeterminism pins placement: two rings built the same way place
+// every key identically — routing must not depend on construction
+// order beyond membership.
+func TestRingDeterminism(t *testing.T) {
+	a, b := NewRing(64), NewRing(64)
+	for _, n := range []string{"r1", "r2", "r3"} {
+		a.Add(n)
+	}
+	for _, n := range []string{"r3", "r1", "r2"} {
+		b.Add(n)
+	}
+	for _, k := range keys(200) {
+		na, _ := a.Lookup(k)
+		nb, _ := b.Lookup(k)
+		if na != nb {
+			t.Fatalf("key %s: %s vs %s (placement depends on add order)", k, na, nb)
+		}
+	}
+}
+
+// TestRingBalance requires the virtual nodes to spread load: with 3
+// replicas and 64 vnodes no replica should own a wildly skewed share.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(64)
+	for _, n := range []string{"r1", "r2", "r3"} {
+		r.Add(n)
+	}
+	counts := map[string]int{}
+	const total = 3000
+	for _, k := range keys(total) {
+		n, ok := r.Lookup(k)
+		if !ok {
+			t.Fatal("lookup failed on populated ring")
+		}
+		counts[n]++
+	}
+	for n, c := range counts {
+		if c < total/6 || c > total/2+total/6 {
+			t.Errorf("replica %s owns %d/%d keys — balance broken: %v", n, c, total, counts)
+		}
+	}
+}
+
+// TestRingMinimalDisruption is the consistent-hashing contract: removing
+// one member must move only the keys it owned; everything else stays.
+func TestRingMinimalDisruption(t *testing.T) {
+	r := NewRing(64)
+	for _, n := range []string{"r1", "r2", "r3"} {
+		r.Add(n)
+	}
+	before := map[string]string{}
+	for _, k := range keys(1000) {
+		before[k], _ = r.Lookup(k)
+	}
+	r.Remove("r2")
+	moved := 0
+	for k, owner := range before {
+		now, ok := r.Lookup(k)
+		if !ok {
+			t.Fatal("lookup failed after removal")
+		}
+		if owner == "r2" {
+			if now == "r2" {
+				t.Fatalf("key %s still owned by removed replica", k)
+			}
+			continue
+		}
+		if now != owner {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys moved that the removed replica did not own", moved)
+	}
+	// Re-adding restores the original placement exactly.
+	r.Add("r2")
+	for k, owner := range before {
+		if now, _ := r.Lookup(k); now != owner {
+			t.Fatalf("key %s: %s after re-add, want %s", k, now, owner)
+		}
+	}
+}
+
+// TestRingPin pins the failover override: a pinned key routes to its pin
+// regardless of hash placement or the pin target's membership, and
+// Unpin restores hash placement.
+func TestRingPin(t *testing.T) {
+	r := NewRing(64)
+	r.Add("r1")
+	r.Add("r2")
+	const k = "g-00000042"
+	hashOwner, _ := r.Lookup(k)
+	other := "r1"
+	if hashOwner == "r1" {
+		other = "r2"
+	}
+	r.Pin(k, other)
+	if n, _ := r.Lookup(k); n != other {
+		t.Fatalf("pinned lookup = %s, want %s", n, other)
+	}
+	// The pin survives the target's removal — it records where the
+	// session's state lives, not membership.
+	r.Remove(other)
+	if n, _ := r.Lookup(k); n != other {
+		t.Fatalf("pin lost on removal: %s", n)
+	}
+	r.Add(other)
+	r.Unpin(k)
+	if n, _ := r.Lookup(k); n != hashOwner {
+		t.Fatalf("unpinned lookup = %s, want hash owner %s", n, hashOwner)
+	}
+}
+
+// TestRingSuccessors checks the failover preference list: distinct
+// members, owner first, covering the whole fleet.
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing(64)
+	for _, n := range []string{"r1", "r2", "r3"} {
+		r.Add(n)
+	}
+	const k = "g-00000007"
+	owner, _ := r.Lookup(k)
+	succ := r.Successors(k, 3)
+	if len(succ) != 3 {
+		t.Fatalf("successors = %v, want 3 distinct members", succ)
+	}
+	if succ[0] != owner {
+		t.Errorf("successors[0] = %s, want owner %s", succ[0], owner)
+	}
+	seen := map[string]bool{}
+	for _, n := range succ {
+		if seen[n] {
+			t.Fatalf("duplicate successor %s in %v", n, succ)
+		}
+		seen[n] = true
+	}
+	if got := r.Successors(k, 2); len(got) != 2 {
+		t.Errorf("Successors(k, 2) = %v", got)
+	}
+	empty := NewRing(8)
+	if got := empty.Successors(k, 2); got != nil {
+		t.Errorf("empty ring successors = %v", got)
+	}
+}

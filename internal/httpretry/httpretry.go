@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -40,6 +41,13 @@ type Client struct {
 	retries int
 	base    time.Duration
 	max     time.Duration
+	// rngMu guards rng: one Client is shared across goroutines (the
+	// gateway fans one client out per replica, sweeps run trials in
+	// parallel), and rand.Rand is not safe for concurrent use. The mutex
+	// serializes draws so the seeded sequence itself stays intact —
+	// deterministic drivers that retry serially still see the exact
+	// seeded draw order.
+	rngMu   sync.Mutex
 	rng     *rand.Rand
 	retried atomic.Int64
 	now     func() time.Time // injectable for Retry-After date tests
@@ -93,10 +101,10 @@ func (c *Client) Do(method, url string, body []byte, out any) error {
 			return nil
 		}
 		if permanent || attempt >= c.retries {
-			if attempt > 0 {
-				return fmt.Errorf("%w (after %d attempts)", err, attempt+1)
-			}
-			return err
+			// Always report how many round trips were burned — a
+			// first-attempt failure reads "after 1 attempt", not a bare
+			// error that hides whether the budget was even used.
+			return fmt.Errorf("%w (after %s)", err, plural(attempt+1, "attempt"))
 		}
 		// Always draw the jitter so the PRNG consumption order — and with
 		// it every seeded driver's output — does not depend on which
@@ -151,7 +159,7 @@ func (c *Client) attempt(method, url string, body []byte, out any) (retryAfter t
 	if json.Unmarshal(raw, &decoded) == nil && decoded.Error != "" {
 		apiErr = decoded
 	}
-	err = fmt.Errorf("%s: %s (%s)", url, apiErr.Error, apiErr.Code)
+	err = &StatusError{Status: resp.StatusCode, Code: apiErr.Code, Message: apiErr.Error, URL: url}
 	if !retryableStatus(resp.StatusCode) {
 		return -1, true, err
 	}
@@ -197,5 +205,33 @@ func (c *Client) backoff(attempt int) time.Duration {
 	if d > c.max || d <= 0 {
 		d = c.max
 	}
-	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.rngMu.Lock()
+	jitter := time.Duration(c.rng.Int63n(int64(d/2) + 1))
+	c.rngMu.Unlock()
+	return d/2 + jitter
+}
+
+// plural formats "1 attempt" / "3 attempts".
+func plural(n int, noun string) string {
+	if n == 1 {
+		return fmt.Sprintf("%d %s", n, noun)
+	}
+	return fmt.Sprintf("%d %ss", n, noun)
+}
+
+// StatusError is a non-2xx API response surfaced as an error: the HTTP
+// status plus the decoded api.Error body. Callers that must distinguish
+// "the service answered with an error" from "the request never got an
+// answer" (transport failure, *url.Error) unwrap it with errors.As — the
+// fleet gateway does exactly that to decide between surfacing a
+// replica's verdict and failing the session over.
+type StatusError struct {
+	Status  int    // HTTP status code
+	Code    string // api.Error.Code (or synthesized "http_<status>")
+	Message string // api.Error.Error
+	URL     string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("%s: %s (%s)", e.URL, e.Message, e.Code)
 }

@@ -1,9 +1,12 @@
 package httpretry
 
 import (
+	"errors"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -215,6 +218,124 @@ func TestRetryBudgetExhausted(t *testing.T) {
 	}
 	if c.Retries() != 2 {
 		t.Fatalf("Retries() = %d, want 2", c.Retries())
+	}
+}
+
+// TestAttemptCountAlwaysReported is the regression test for the hidden
+// first attempt: a request that dies on its very first round trip must
+// still say how much of the budget was used — "(after 1 attempt)" — not
+// return a bare error that reads as if no retry machinery ran at all.
+func TestAttemptCountAlwaysReported(t *testing.T) {
+	t.Run("permanent first attempt", func(t *testing.T) {
+		srv, _ := serveSequence(t, []func(http.ResponseWriter){
+			func(w http.ResponseWriter) {
+				w.WriteHeader(500)
+				w.Write([]byte(`{"code":"session_failed","error":"engine died"}`))
+			},
+		})
+		c := New(nil, 5, time.Millisecond, 1)
+		c.Sleep = func(time.Duration) {}
+		err := c.Do("GET", srv.URL, nil, nil)
+		if err == nil || !strings.Contains(err.Error(), "(after 1 attempt)") {
+			t.Fatalf("err = %v, want \"(after 1 attempt)\"", err)
+		}
+		if strings.Contains(err.Error(), "1 attempts") {
+			t.Fatalf("err = %v, singular noun mangled", err)
+		}
+	})
+	t.Run("zero retry budget", func(t *testing.T) {
+		srv, calls := serveSequence(t, []func(http.ResponseWriter){status(503, "")})
+		c := New(nil, 0, time.Millisecond, 1)
+		c.Sleep = func(time.Duration) {}
+		err := c.Do("GET", srv.URL, nil, nil)
+		if err == nil || !strings.Contains(err.Error(), "(after 1 attempt)") {
+			t.Fatalf("err = %v, want \"(after 1 attempt)\"", err)
+		}
+		if *calls != 1 {
+			t.Fatalf("server saw %d calls, want 1", *calls)
+		}
+	})
+}
+
+// TestStatusErrorTyped pins the typed error contract the fleet gateway
+// relies on: an API-level failure unwraps to *StatusError carrying the
+// HTTP status (even through the attempt-count wrapper), while a
+// transport failure does not — that distinction is how the gateway
+// decides between surfacing a replica's answer and failing over.
+func TestStatusErrorTyped(t *testing.T) {
+	srv, _ := serveSequence(t, []func(http.ResponseWriter){status(429, "")})
+	c := New(nil, 1, time.Millisecond, 1)
+	c.Sleep = func(time.Duration) {}
+	err := c.Do("GET", srv.URL, nil, nil)
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StatusError", err)
+	}
+	if se.Status != 429 || se.Code != "capacity" || se.Message != "at capacity" {
+		t.Fatalf("StatusError = %+v", se)
+	}
+	if !strings.Contains(err.Error(), "at capacity (capacity)") {
+		t.Fatalf("err = %v, message format drifted", err)
+	}
+
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {}))
+	url := dead.URL
+	dead.Close()
+	c2 := New(nil, 0, time.Millisecond, 1)
+	c2.Sleep = func(time.Duration) {}
+	err = c2.Do("GET", url, nil, nil)
+	if errors.As(err, &se) {
+		t.Fatalf("transport failure decoded as StatusError: %v", err)
+	}
+}
+
+// TestConcurrentRetriesSharedClient is the regression test for the
+// unguarded jitter PRNG: many goroutines hammering one shared client
+// through the retry path must not race on the rand.Rand (run under
+// -race), and the seeded sequence must stay intact — a serial client
+// with the same seed still produces the exact same delays.
+func TestConcurrentRetriesSharedClient(t *testing.T) {
+	// Always 503 with no Retry-After: every Do exhausts its full budget
+	// and every retry draws jitter from the shared PRNG.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(503)
+		w.Write([]byte(`{"code":"capacity","error":"at capacity"}`))
+	}))
+	t.Cleanup(srv.Close)
+	const goroutines = 12
+	c := New(nil, 3, time.Millisecond, 42)
+	c.Sleep = func(time.Duration) {}
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := c.Do("GET", srv.URL, nil, nil)
+			if err == nil || !strings.Contains(err.Error(), "(after 4 attempts)") {
+				t.Errorf("err = %v, want exhausted budget after 4 attempts", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Retries(); got != goroutines*3 {
+		t.Fatalf("Retries() = %d, want %d", got, goroutines*3)
+	}
+
+	// Draw-order determinism survives the mutex: two fresh same-seeded
+	// clients used serially replay identical jittered delays.
+	delays := func() []time.Duration {
+		srv2, _ := serveSequence(t, []func(http.ResponseWriter){status(503, ""), status(503, ""), ok})
+		rec := &sleepRecorder{}
+		c := New(nil, 3, 10*time.Millisecond, 7)
+		c.Sleep = rec.sleep
+		if err := c.Do("GET", srv2.URL, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		return rec.delays
+	}
+	a, b := delays(), delays()
+	if len(a) != 2 || !reflect.DeepEqual(a, b) {
+		t.Fatalf("seeded jitter no longer deterministic: %v vs %v", a, b)
 	}
 }
 

@@ -1,0 +1,208 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"soundboost/api"
+)
+
+func chunk(seq int, close bool) api.FramesRequest {
+	return api.FramesRequest{
+		Seq:   seq,
+		IMU:   []api.IMUSample{{TimeSeconds: float64(seq)}},
+		Close: close,
+	}
+}
+
+func writeSession(t *testing.T, st *Store, id string, n int) *Session {
+	t.Helper()
+	sj, err := st.Session(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sj.WriteMeta(Meta{ID: id, State: api.SessionOpen, Req: api.SessionRequest{Flight: id, SampleRateHz: 4000}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		if err := sj.AppendChunk(chunk(i, false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sj
+}
+
+// TestRoundTrip pins the append → load cycle: every appended chunk comes
+// back in order, the meta snapshot survives rewrites, and ids load in
+// sorted order.
+func TestRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := writeSession(t, st, "s-00000002", 2)
+	a := writeSession(t, st, "s-00000001", 3)
+	if err := a.WriteMeta(Meta{ID: "s-00000001", State: api.SessionDraining, LastSeq: 3}); err != nil {
+		t.Fatal(err)
+	}
+	a.CloseChunks()
+	b.CloseChunks()
+
+	recs, errs := st.Load()
+	if len(errs) != 0 {
+		t.Fatalf("load errs: %v", errs)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("loaded %d sessions, want 2", len(recs))
+	}
+	if recs[0].Meta.ID != "s-00000001" || recs[1].Meta.ID != "s-00000002" {
+		t.Fatalf("load order %q, %q; want sorted ids", recs[0].Meta.ID, recs[1].Meta.ID)
+	}
+	if recs[0].Meta.State != api.SessionDraining || recs[0].Meta.LastSeq != 3 {
+		t.Fatalf("meta rewrite lost: %+v", recs[0].Meta)
+	}
+	if len(recs[0].Chunks) != 3 || len(recs[1].Chunks) != 2 {
+		t.Fatalf("chunks = %d, %d; want 3, 2", len(recs[0].Chunks), len(recs[1].Chunks))
+	}
+	for i, c := range recs[0].Chunks {
+		if c.Seq != i+1 {
+			t.Fatalf("chunk %d has seq %d", i, c.Seq)
+		}
+	}
+	if recs[0].Corrupt != "" || recs[1].Corrupt != "" {
+		t.Fatalf("clean logs flagged corrupt: %q, %q", recs[0].Corrupt, recs[1].Corrupt)
+	}
+}
+
+// TestTornTailTolerated pins the crash-mid-append contract: a garbage
+// FINAL line is end-of-log — the chunk was never acknowledged — and the
+// session is NOT corrupt.
+func TestTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSession(t, st, "s-00000001", 2).CloseChunks()
+	f, err := os.OpenFile(st.ChunksPath("s-00000001"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":3,"imu":[{"time_se`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rec, err := st.LoadSession("s-00000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Corrupt != "" {
+		t.Fatalf("torn tail flagged corrupt: %q", rec.Corrupt)
+	}
+	if len(rec.Chunks) != 2 {
+		t.Fatalf("recovered %d chunks, want 2 (torn tail dropped)", len(rec.Chunks))
+	}
+}
+
+// TestMidLogCorruptionSurfaced is the regression test for the silent
+// truncation hole: damage BEFORE the final line means acknowledged
+// chunks are unreadable, and the load must say so instead of silently
+// replaying a prefix.
+func TestMidLogCorruptionSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSession(t, st, "s-00000001", 4).CloseChunks()
+
+	// Smash chunk 2 in place: the log now has a valid line, garbage, then
+	// two more valid lines.
+	path := st.ChunksPath("s-00000001")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("fixture has %d lines, want 4", len(lines))
+	}
+	lines[1] = lines[1][:len(lines[1])/2] // torn in the middle of the log
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := st.LoadSession("s-00000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Corrupt == "" {
+		t.Fatal("mid-log corruption not surfaced")
+	}
+	if !strings.Contains(rec.Corrupt, "line 2") {
+		t.Fatalf("corruption cause %q does not name the damaged line", rec.Corrupt)
+	}
+	if len(rec.Chunks) != 1 {
+		t.Fatalf("recovered %d chunks before the damage, want 1", len(rec.Chunks))
+	}
+}
+
+// TestRemove deletes both files so an evicted session cannot be
+// resurrected by the next recovery.
+func TestRemove(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj := writeSession(t, st, "s-00000001", 1)
+	sj.Remove()
+	if _, err := os.Stat(st.MetaPath("s-00000001")); !os.IsNotExist(err) {
+		t.Fatalf("meta still present: %v", err)
+	}
+	if _, err := os.Stat(st.ChunksPath("s-00000001")); !os.IsNotExist(err) {
+		t.Fatalf("chunks still present: %v", err)
+	}
+	recs, errs := st.Load()
+	if len(recs) != 0 || len(errs) != 0 {
+		t.Fatalf("load after remove: %d recs, errs %v", len(recs), errs)
+	}
+}
+
+// TestAppendAfterClose keeps the lifecycle strict: appends after
+// CloseChunks must error, not silently write nowhere.
+func TestAppendAfterClose(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj := writeSession(t, st, "s-00000001", 1)
+	sj.CloseChunks()
+	if err := sj.AppendChunk(chunk(2, false)); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}
+
+// TestUnreadableMetaReported keeps the per-session error contract: a
+// damaged meta skips that session but reports it.
+func TestUnreadableMetaReported(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSession(t, st, "s-00000001", 1).CloseChunks()
+	if err := os.WriteFile(filepath.Join(dir, "s-00000002.meta.json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, errs := st.Load()
+	if len(recs) != 1 || recs[0].Meta.ID != "s-00000001" {
+		t.Fatalf("recs = %+v, want just s-00000001", recs)
+	}
+	if len(errs) != 1 {
+		t.Fatalf("errs = %v, want exactly one", errs)
+	}
+}

@@ -28,10 +28,17 @@ var (
 	// sessions.recovered counts sessions rebuilt from the journal at
 	// startup.
 	sessionsRecovered = obs.Default.Counter("server.sessions.recovered")
+	// sessions.corrupt counts sessions whose chunk log was damaged before
+	// its torn tail — recovered as failed with the cause recorded, never
+	// silently replayed from a truncated prefix.
+	sessionsCorrupt = obs.Default.Counter("server.sessions.corrupt")
 	// journal.chunks counts write-ahead chunk appends (fsynced before the
 	// client's 200).
 	journalChunks = obs.Default.Counter("server.journal.chunks")
-	jobsRejected  = obs.Default.Counter("server.jobs.rejected")
+	// journal.exports counts session journal exports served to fleet
+	// gateways for handoff.
+	journalExports = obs.Default.Counter("server.journal.exports")
+	jobsRejected   = obs.Default.Counter("server.jobs.rejected")
 	// jobs.timed_out counts batch analyses abandoned at their deadline;
 	// their limiter slots free when the work returns.
 	jobsTimedOut   = obs.Default.Counter("server.jobs.timed_out")
@@ -47,11 +54,12 @@ var (
 		return obs.Default.Counter("server.sessions.opened." + labelGroup(flight))
 	}
 
-	flightsTimer  = obs.Default.Timer("server.http.flights")
-	sessionsTimer = obs.Default.Timer("server.http.sessions.create")
-	framesTimer   = obs.Default.Timer("server.http.sessions.frames")
-	reportTimer   = obs.Default.Timer("server.http.sessions.report")
-	statusTimer   = obs.Default.Timer("server.http.sessions.status")
+	flightsTimer       = obs.Default.Timer("server.http.flights")
+	sessionsTimer      = obs.Default.Timer("server.http.sessions.create")
+	framesTimer        = obs.Default.Timer("server.http.sessions.frames")
+	reportTimer        = obs.Default.Timer("server.http.sessions.report")
+	statusTimer        = obs.Default.Timer("server.http.sessions.status")
+	journalExportTimer = obs.Default.Timer("server.http.sessions.journal")
 )
 
 // labelGroup maps a session's flight label to a bounded metric group:

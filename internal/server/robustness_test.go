@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -303,6 +304,127 @@ func TestJournalRecoversTerminalStates(t *testing.T) {
 		t.Errorf("recovered report diverged:\nwant: %+v\ngot:  %+v", clean, report)
 	}
 	errCode(t, do(t, b, "POST", base+"/frames", reqs[0]), http.StatusConflict, api.CodeConflict)
+}
+
+// TestJournalCorruptRecoveredAsFailed is the regression test for the
+// silent-vanish hole: a session whose meta parses but whose chunk log is
+// damaged BEFORE the tolerated torn tail must come back as a failed
+// session with the corruption recorded as its cause — not disappear, and
+// not serve a verdict replayed from a silently truncated log.
+func TestJournalCorruptRecoveredAsFailed(t *testing.T) {
+	fx := getFixture(t)
+	flight := fx.calib[0]
+	liveDir := t.TempDir()
+	a := newTestServer(t, Config{JournalDir: liveDir})
+	reqs, err := framesFromFlight(flight, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := openSession(t, a, flight)
+	for _, r := range reqs[:len(reqs)/2] {
+		decode[api.FramesResponse](t, do(t, a, "POST", base+"/frames", r), http.StatusOK)
+	}
+
+	// "Crash", then damage the log in its interior: truncate the second
+	// chunk line halfway. Acknowledged chunks are now unreadable.
+	crashDir := copyDir(t, liveDir)
+	var chunksFile string
+	for _, m := range mustGlob(t, crashDir, "*.chunks.jsonl") {
+		chunksFile = m
+	}
+	raw, err := os.ReadFile(chunksFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("fixture journal has %d chunk lines, want >= 3", len(lines))
+	}
+	lines[1] = lines[1][:len(lines[1])/2]
+	if err := os.WriteFile(chunksFile, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	b := newTestServer(t, Config{JournalDir: crashDir})
+	st := waitSessionState(t, b, base, api.SessionFailed)
+	if st.FailCause == "" {
+		t.Fatal("corrupt-journal session recovered without a recorded cause")
+	}
+	if !strings.Contains(st.FailCause, "journal unreadable") || !strings.Contains(st.FailCause, "line 2") {
+		t.Errorf("fail cause %q does not name the journal corruption", st.FailCause)
+	}
+	// The failure is permanent and visible on every surface: frames are
+	// refused with the failed code, and the report endpoint must not
+	// fabricate a verdict.
+	errCode(t, do(t, b, "POST", base+"/frames", reqs[0]), http.StatusInternalServerError, api.CodeSessionFailed)
+	if w := do(t, b, "GET", base+"/report", nil); w.Code == http.StatusOK {
+		t.Errorf("corrupt-journal session served a report: %s", w.Body.String())
+	}
+	// And it survives another restart: the failure cause was re-journaled.
+	c := newTestServer(t, Config{JournalDir: copyDir(t, crashDir)})
+	st = waitSessionState(t, c, base, api.SessionFailed)
+	if !strings.Contains(st.FailCause, "journal unreadable") {
+		t.Errorf("fail cause lost across second restart: %q", st.FailCause)
+	}
+}
+
+// TestJournalExportEndpoint pins the fleet handoff source: the export
+// carries the original request plus exactly the acknowledged chunk
+// prefix, and replaying it into a second server reproduces the verdict
+// byte-identically.
+func TestJournalExportEndpoint(t *testing.T) {
+	fx := getFixture(t)
+	flight := fx.calib[0]
+	a := newTestServer(t, Config{JournalDir: t.TempDir()})
+	clean := runSession(t, a, flight, 6)
+
+	reqs, err := framesFromFlight(flight, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := openSession(t, a, flight)
+	cut := len(reqs) / 2
+	for _, r := range reqs[:cut] {
+		decode[api.FramesResponse](t, do(t, a, "POST", base+"/frames", r), http.StatusOK)
+	}
+
+	exp := decode[api.SessionJournal](t, do(t, a, "GET", base+"/journal", nil), http.StatusOK)
+	if exp.SchemaVersion != api.Version {
+		t.Errorf("schema_version = %q", exp.SchemaVersion)
+	}
+	if exp.State != api.SessionOpen || exp.LastSeq != cut || len(exp.Chunks) != cut {
+		t.Fatalf("export state %q last_seq %d chunks %d, want open/%d/%d",
+			exp.State, exp.LastSeq, len(exp.Chunks), cut, cut)
+	}
+	if exp.Request.SampleRateHz != flight.Audio.SampleRate {
+		t.Errorf("exported request lost sample rate: %+v", exp.Request)
+	}
+	for i, c := range exp.Chunks {
+		if c.Seq != i+1 {
+			t.Fatalf("exported chunk %d has seq %d", i, c.Seq)
+		}
+	}
+
+	// Handoff: replay the export into a fresh server — the successor
+	// replica — then finish the upload there. Verdict must be identical.
+	b := newTestServer(t, Config{JournalDir: t.TempDir()})
+	succ := decode[api.SessionResponse](t, do(t, b, "POST", "/v1/sessions", exp.Request), http.StatusCreated)
+	succBase := "/v1/sessions/" + succ.ID
+	for _, c := range exp.Chunks {
+		decode[api.FramesResponse](t, do(t, b, "POST", succBase+"/frames", c), http.StatusOK)
+	}
+	for _, r := range reqs[cut:] {
+		decode[api.FramesResponse](t, do(t, b, "POST", succBase+"/frames", r), http.StatusOK)
+	}
+	report := decode[api.Report](t, do(t, b, "GET", succBase+"/report", nil), http.StatusOK)
+	if !reflect.DeepEqual(report, clean) {
+		t.Errorf("replayed export verdict diverged:\nclean: %+v\ngot:   %+v", clean, report)
+	}
+
+	// A server without journaling has nothing durable to export.
+	c := newTestServer(t, Config{})
+	njBase := openSession(t, c, flight)
+	errCode(t, do(t, c, "GET", njBase+"/journal", nil), http.StatusConflict, api.CodeConflict)
 }
 
 func mustGlob(t *testing.T, dir, pattern string) []string {

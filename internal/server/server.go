@@ -13,24 +13,27 @@
 // parallel.Limiter (full → 429), per-session idle timeouts and hard
 // deadlines reclaim abandoned streams, and Shutdown drains gracefully:
 // no new work, open streams closed, verdicts flushed.
+//
+// The package is split along its seams: this file is the server's
+// lifecycle (config, construction, drain); router.go is the HTTP layer
+// (routes, handlers, error mapping); session.go is session placement and
+// the per-session worker; recovery.go rebuilds the table from the
+// journal after a crash. The durable journal format itself lives in
+// internal/journal, shared with the fleet gateway that uses it as the
+// session-transfer format.
 package server
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
-	"strings"
 	"sync"
 	"time"
 
-	"soundboost/api"
 	"soundboost/internal/chaos"
 	soundboost "soundboost/internal/core"
-	"soundboost/internal/dataset"
-	"soundboost/internal/faults"
+	"soundboost/internal/journal"
 	"soundboost/internal/parallel"
 )
 
@@ -72,8 +75,11 @@ type Config struct {
 	// JournalDir, when set, enables crash-safe session recovery: accepted
 	// chunks are fsynced to a write-ahead log before they are
 	// acknowledged, lifecycle transitions are checkpointed, and a
-	// restarted server rebuilds its session table from the directory. See
-	// DESIGN.md "Failure domains & recovery".
+	// restarted server rebuilds its session table from the directory. The
+	// same directory doubles as the fleet gateway's failover source: a
+	// dead replica's sessions are replayed from it onto a successor. See
+	// DESIGN.md "Failure domains & recovery" and "Fleet routing &
+	// handoff".
 	JournalDir string
 	// SessionInjector, when set, supplies a chaos fault schedule for each
 	// new session: the returned injector (nil = no faults) wraps the
@@ -123,7 +129,7 @@ type Server struct {
 	jobs    *parallel.Limiter
 	mux     *http.ServeMux
 	now     func() time.Time
-	journal *journal // nil unless Config.JournalDir is set
+	journal *journal.Store // nil unless Config.JournalDir is set
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -150,17 +156,11 @@ func New(an *soundboost.Analyzer, cfg Config) (*Server, error) {
 		janitorDone: make(chan struct{}),
 	}
 	s.jobs = parallel.NewLimiter("batch-rca", s.cfg.MaxJobs)
-	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /"+api.Version+"/flights", s.handleFlights)
-	s.mux.HandleFunc("POST /"+api.Version+"/sessions", s.handleSessionCreate)
-	s.mux.HandleFunc("POST /"+api.Version+"/sessions/{id}/frames", s.handleFrames)
-	s.mux.HandleFunc("GET /"+api.Version+"/sessions/{id}/report", s.handleReport)
-	s.mux.HandleFunc("GET /"+api.Version+"/sessions/{id}/status", s.handleStatus)
-	s.mux.HandleFunc("GET /"+api.Version+"/healthz", s.handleHealthz)
+	s.mux = s.routes()
 	if s.cfg.JournalDir != "" {
-		j, err := newJournal(s.cfg.JournalDir)
+		j, err := journal.Open(s.cfg.JournalDir)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("server: %w", err)
 		}
 		s.journal = j
 		// Rebuild the session table from the journal before accepting
@@ -225,261 +225,4 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		return ctx.Err()
 	}
-}
-
-// --- handlers ---
-
-// handleFlights runs batch RCA over an uploaded .sbf recording. The
-// request body is the raw flight file; admission is bounded by the job
-// limiter and sheds with 429 when saturated.
-func (s *Server) handleFlights(w http.ResponseWriter, r *http.Request) {
-	span := flightsTimer.Start()
-	defer span.Stop()
-	s.mu.Lock()
-	draining := s.draining
-	s.mu.Unlock()
-	if draining {
-		s.writeError(w, errShuttingDown)
-		return
-	}
-	if !s.jobs.TryAcquire() {
-		jobsRejected.Inc()
-		s.writeError(w, fmt.Errorf("%w: %d batch jobs in flight (cap %d)",
-			faults.ErrCapacity, s.jobs.InUse(), s.jobs.Cap()))
-		return
-	}
-	start := s.now()
-	flight, err := dataset.Load(r.Body)
-	if err != nil {
-		s.jobs.Release()
-		s.writeError(w, fmt.Errorf("%w: %v", faults.ErrUnprocessable, err))
-		return
-	}
-
-	// Run the analysis on a goroutine that owns the limiter slot, so a
-	// wedged or slow analysis cannot hold the slot past its own return
-	// even after the handler gives up on it: the slot frees exactly when
-	// the work stops, and a panic inside the analyzer frees it too.
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.BatchTimeout)
-	defer cancel()
-	type result struct {
-		report soundboost.Report
-		err    error
-	}
-	ch := make(chan result, 1) // buffered: the handler may be gone
-	go func() {
-		defer s.jobs.Release()
-		defer func() {
-			if p := recover(); p != nil {
-				ch <- result{err: fmt.Errorf("batch analysis panic: %v", p)}
-			}
-		}()
-		report, err := s.an.Analyze(flight)
-		ch <- result{report, err}
-	}()
-	select {
-	case res := <-ch:
-		if res.err != nil {
-			s.writeError(w, res.err)
-			return
-		}
-		s.writeJSON(w, http.StatusOK, api.FlightResponse{
-			Report:         api.ReportFromCore(res.report),
-			ElapsedSeconds: s.now().Sub(start).Seconds(),
-		})
-	case <-ctx.Done():
-		// Client gone or deadline hit: shed the request. The analysis
-		// keeps its slot until it returns — that is backpressure working,
-		// not a leak — and new requests see 429 while it unwinds.
-		jobsTimedOut.Inc()
-		s.writeError(w, fmt.Errorf("%w after %s", faults.ErrTimeout,
-			s.now().Sub(start).Round(time.Millisecond)))
-	}
-}
-
-// handleSessionCreate opens a streaming session.
-func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
-	span := sessionsTimer.Start()
-	defer span.Stop()
-	var req api.SessionRequest
-	if err := api.DecodeStrict(r.Body, &req); err != nil {
-		s.writeBadRequest(w, err)
-		return
-	}
-	sess, err := s.createSession(req)
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	s.writeJSON(w, http.StatusCreated, api.SessionResponse{
-		SchemaVersion: api.Version,
-		ID:            sess.id,
-		State:         sess.stateNow(),
-	})
-}
-
-// handleFrames feeds one batch of telemetry into a session's bus. The
-// three streams are merged by timestamp (stable: audio before IMU
-// before GPS at equal times, matching stream.Replay) and published in
-// order.
-func (s *Server) handleFrames(w http.ResponseWriter, r *http.Request) {
-	span := framesTimer.Start()
-	defer span.Stop()
-	sess, err := s.lookup(r.PathValue("id"))
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	var req api.FramesRequest
-	if err := api.DecodeStrict(r.Body, &req); err != nil {
-		s.writeBadRequest(w, err)
-		return
-	}
-	switch st := sess.stateNow(); st {
-	case api.SessionOpen:
-	case api.SessionFailed:
-		s.writeError(w, fmt.Errorf("%w: %q: %s", faults.ErrSessionFailed, sess.id, sess.snapshot(s.now()).FailCause))
-		return
-	default:
-		s.writeError(w, fmt.Errorf("%w: %q", faults.ErrSessionClosed, sess.id))
-		return
-	}
-	sess.touch(s.now())
-	accepted, duplicate, err := sess.publish(req)
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	framesAccepted.Add(int64(accepted))
-	// Close is honored even on a duplicate resend: the original ack may
-	// have been lost after the chunk was accepted but before the close
-	// transition, and closeStream is idempotent either way.
-	if req.Close {
-		if sess.closeStream() {
-			sessionsClosed.Inc()
-			s.logf("session %s closed by client", sess.id)
-		}
-	}
-	s.writeJSON(w, http.StatusOK, api.FramesResponse{
-		SchemaVersion: api.Version,
-		Accepted:      accepted,
-		Shed:          sess.bus.Dropped(),
-		State:         sess.stateNow(),
-		Duplicate:     duplicate,
-	})
-}
-
-// handleReport returns a session's final verdict. The stream must be
-// closed first (409 otherwise); the handler then waits for the engine's
-// flush, bounded by the request context.
-func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	span := reportTimer.Start()
-	defer span.Stop()
-	sess, err := s.lookup(r.PathValue("id"))
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	if sess.stateNow() == api.SessionOpen {
-		s.writeError(w, fmt.Errorf("%w: %q (close the stream first)", faults.ErrSessionOpen, sess.id))
-		return
-	}
-	select {
-	case <-sess.done:
-	case <-r.Context().Done():
-		return // client gave up while the engine was flushing
-	}
-	sess.mu.Lock()
-	report, runErr := sess.report, sess.runErr
-	sess.mu.Unlock()
-	if runErr != nil {
-		s.writeError(w, runErr)
-		return
-	}
-	s.writeJSON(w, http.StatusOK, api.ReportFromCore(report))
-}
-
-// handleStatus returns a live session snapshot. Status polls do not
-// refresh the idle timeout — only frames keep a session alive.
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	span := statusTimer.Start()
-	defer span.Stop()
-	sess, err := s.lookup(r.PathValue("id"))
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	s.writeJSON(w, http.StatusOK, sess.snapshot(s.now()))
-}
-
-// handleHealthz reports liveness and occupancy.
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	status := "ok"
-	if s.draining {
-		status = "draining"
-	}
-	n := len(s.sessions)
-	s.mu.Unlock()
-	s.writeJSON(w, http.StatusOK, api.Health{
-		SchemaVersion:  api.Version,
-		Status:         status,
-		ActiveSessions: n,
-		SessionCap:     s.cfg.MaxSessions,
-		JobsInFlight:   s.jobs.InUse(),
-		JobCap:         s.jobs.Cap(),
-	})
-}
-
-// --- response plumbing ---
-
-func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v)
-}
-
-// writeBadRequest reports a body that failed strict decoding (400).
-func (s *Server) writeBadRequest(w http.ResponseWriter, err error) {
-	httpErrors.Inc()
-	s.writeJSON(w, http.StatusBadRequest, api.Error{Code: api.CodeBadRequest, Error: err.Error()})
-}
-
-// writeError maps the shared fault vocabulary onto HTTP statuses: this
-// is the single place wire status codes are decided.
-func (s *Server) writeError(w http.ResponseWriter, err error) {
-	httpErrors.Inc()
-	status, code := http.StatusInternalServerError, api.CodeInternal
-	switch {
-	case errors.Is(err, faults.ErrSessionNotFound):
-		status, code = http.StatusNotFound, api.CodeNotFound
-	case errors.Is(err, faults.ErrSessionFailed):
-		status, code = http.StatusInternalServerError, api.CodeSessionFailed
-	case errors.Is(err, faults.ErrTimeout):
-		status, code = http.StatusServiceUnavailable, api.CodeTimeout
-	case errors.Is(err, faults.ErrSessionClosed),
-		errors.Is(err, faults.ErrSessionOpen),
-		errors.Is(err, faults.ErrSeqGap),
-		errors.Is(err, faults.ErrBusClosed):
-		status, code = http.StatusConflict, api.CodeConflict
-	case errors.Is(err, faults.ErrNoFlight),
-		errors.Is(err, faults.ErrUnprocessable):
-		status, code = http.StatusUnprocessableEntity, api.CodeUnprocessable
-	case errors.Is(err, faults.ErrCapacity):
-		status, code = http.StatusTooManyRequests, api.CodeCapacity
-		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
-	case errors.Is(err, errShuttingDown):
-		status, code = http.StatusServiceUnavailable, api.CodeShuttingDown
-	case isMaxBytes(err):
-		status, code = http.StatusRequestEntityTooLarge, api.CodeBadRequest
-	}
-	s.writeJSON(w, status, api.Error{Code: code, Error: err.Error()})
-}
-
-// isMaxBytes detects http.MaxBytesReader truncation surfaced through
-// decode/load errors.
-func isMaxBytes(err error) bool {
-	var mbe *http.MaxBytesError
-	return errors.As(err, &mbe) || strings.Contains(err.Error(), "request body too large")
 }

@@ -12,6 +12,7 @@ import (
 	"soundboost/internal/chaos"
 	soundboost "soundboost/internal/core"
 	"soundboost/internal/faults"
+	"soundboost/internal/journal"
 	"soundboost/internal/mavbus"
 	"soundboost/internal/stream"
 )
@@ -32,8 +33,8 @@ type session struct {
 
 	// pub is the bus publish path, possibly wrapped by a chaos injector.
 	pub chaos.PubFunc
-	inj *chaos.Injector // nil unless Config.SessionInjector supplied one
-	sj  *sessionJournal // nil unless journaling is enabled
+	inj *chaos.Injector  // nil unless Config.SessionInjector supplied one
+	sj  *journal.Session // nil unless journaling is enabled
 
 	// done closes when the engine goroutine has stored its report (or the
 	// session was recovered directly into a terminal state).
@@ -97,7 +98,7 @@ func (s *session) persistMeta() {
 		return
 	}
 	s.mu.Lock()
-	meta := journalMeta{
+	meta := journal.Meta{
 		ID:        s.id,
 		Req:       s.req,
 		State:     s.state,
@@ -112,7 +113,7 @@ func (s *session) persistMeta() {
 	if s.eng != nil {
 		meta.Engine = api.EngineStatusFromStream(s.eng.Status())
 	}
-	_ = s.sj.writeMeta(meta)
+	_ = s.sj.WriteMeta(meta)
 }
 
 // touch refreshes the idle clock (frame activity only — status polls do
@@ -141,7 +142,7 @@ func (s *session) closeStream() bool {
 	}
 	s.bus.Close()
 	if s.sj != nil {
-		s.sj.closeChunks()
+		s.sj.CloseChunks()
 	}
 	s.persistMeta()
 	return true
@@ -198,7 +199,7 @@ func (s *session) publish(req api.FramesRequest) (accepted int, duplicate bool, 
 		}
 	}
 	if s.sj != nil {
-		if err := s.sj.appendChunk(req); err != nil {
+		if err := s.sj.AppendChunk(req); err != nil {
 			return 0, false, fmt.Errorf("server: journal append: %w", err)
 		}
 		journalChunks.Inc()
@@ -329,10 +330,10 @@ func (s *Server) createSession(req api.SessionRequest) (*session, error) {
 		}
 	}
 	if s.journal != nil {
-		sj, err := s.journal.open(id)
+		sj, err := s.journal.Session(id)
 		if err != nil {
 			bus.Close()
-			return nil, err
+			return nil, fmt.Errorf("server: %w", err)
 		}
 		sess.sj = sj
 	}
@@ -342,7 +343,7 @@ func (s *Server) createSession(req api.SessionRequest) (*session, error) {
 		s.mu.Unlock()
 		bus.Close()
 		if sess.sj != nil {
-			sess.sj.remove()
+			sess.sj.Remove()
 		}
 		return nil, errShuttingDown
 	}
@@ -352,7 +353,7 @@ func (s *Server) createSession(req api.SessionRequest) (*session, error) {
 		s.mu.Unlock()
 		bus.Close()
 		if sess.sj != nil {
-			sess.sj.remove()
+			sess.sj.Remove()
 		}
 		return nil, fmt.Errorf("%w: %d live sessions (cap %d)", faults.ErrCapacity, n, s.cfg.MaxSessions)
 	}
@@ -390,7 +391,7 @@ func (s *Server) evictLocked() bool {
 	}
 	delete(s.sessions, victim.id)
 	if victim.sj != nil {
-		victim.sj.remove()
+		victim.sj.Remove()
 	}
 	sessionsActive.Set(float64(len(s.sessions)))
 	sessionsEvicted.Inc()
@@ -463,154 +464,4 @@ func (s *Server) janitor() {
 			}
 		}
 	}
-}
-
-// --- crash recovery ---
-
-// recoverSessions rebuilds the session table from the journal at
-// startup. Sessions that finished before the crash are restored straight
-// into their terminal state (report or failure cause served from meta);
-// interrupted sessions get a fresh engine and their chunk log replayed
-// through the normal publish path — deterministic, so the recovered
-// verdict is the one the original run would have produced. Open sessions
-// stay open: the client polls status, reads last_seq, and resumes from
-// the next chunk.
-func (s *Server) recoverSessions() {
-	recs, errs := s.journal.load()
-	for _, err := range errs {
-		s.logf("journal: %v", err)
-	}
-	for _, rec := range recs {
-		if n, ok := sessionID(rec.meta.ID); ok && n > s.nextID {
-			s.nextID = n
-		}
-		if err := s.recoverSession(rec); err != nil {
-			s.logf("journal: session %s not recovered: %v", rec.meta.ID, err)
-			continue
-		}
-		sessionsRecovered.Inc()
-	}
-}
-
-// recoverSession rebuilds one journaled session.
-func (s *Server) recoverSession(rec recovered) error {
-	meta := rec.meta
-	now := s.now()
-
-	// Terminal states need no engine: the journal already holds the
-	// outcome.
-	if meta.State == api.SessionDone || meta.State == api.SessionFailed {
-		if meta.State == api.SessionDone && meta.Report == nil {
-			// Finished but the report never hit the meta (crash inside the
-			// transition). Fall through and recompute it by replay.
-			meta.State = api.SessionDraining
-		} else {
-			bus := mavbus.NewBus(1)
-			bus.Close()
-			sess := &session{
-				id: meta.ID, flight: meta.Req.Flight, bus: bus,
-				created: now, lastTouch: now, req: meta.Req,
-				pub: bus.Publish, logf: s.logf,
-				state: meta.State, lastSeq: meta.LastSeq,
-				failCause: meta.FailCause,
-				done:      make(chan struct{}),
-			}
-			if meta.State == api.SessionFailed {
-				sess.runErr = fmt.Errorf("%w: %s", faults.ErrSessionFailed, meta.FailCause)
-			} else {
-				sess.report = meta.Report.ToCore()
-			}
-			close(sess.done)
-			sj, err := s.journal.open(meta.ID)
-			if err != nil {
-				return err
-			}
-			sj.closeChunks()
-			sess.sj = sj
-			s.mu.Lock()
-			s.sessions[meta.ID] = sess
-			sessionsActive.Set(float64(len(s.sessions)))
-			s.mu.Unlock()
-			s.logf("session %s recovered (%s)", meta.ID, meta.State)
-			return nil
-		}
-	}
-
-	// Interrupted session: rebuild the engine and replay the chunk log.
-	// The buffer floor absorbs the replay burst — recovery publishes the
-	// whole log as fast as the bus accepts, and a shed message here would
-	// silently change the verdict.
-	opts := []stream.Option{
-		stream.WithFlightName(meta.Req.Flight),
-		stream.WithBuffer(maxInt(meta.Req.Buffer, maxInt(s.cfg.SessionBuffer, recoveryBufferFloor))),
-	}
-	if meta.Req.LagHorizonSeconds > 0 {
-		opts = append(opts, stream.WithLagHorizon(meta.Req.LagHorizonSeconds))
-	}
-	if meta.Req.GapFill {
-		opts = append(opts, stream.WithGapFill(true))
-	}
-	eng, err := stream.New(s.an, meta.Req.SampleRateHz, opts...)
-	if err != nil {
-		return err
-	}
-	bus := mavbus.NewBus(0)
-	if err := eng.Attach(bus); err != nil {
-		return err
-	}
-	sess := &session{
-		id: meta.ID, flight: meta.Req.Flight, bus: bus, eng: eng,
-		created: now, lastTouch: now, req: meta.Req,
-		pub: bus.Publish, logf: s.logf,
-		state: api.SessionOpen,
-		done:  make(chan struct{}),
-	}
-	s.mu.Lock()
-	s.sessions[meta.ID] = sess
-	sessionsActive.Set(float64(len(s.sessions)))
-	s.wg.Add(1)
-	s.mu.Unlock()
-	go func() {
-		defer s.wg.Done()
-		sess.run()
-	}()
-
-	// Replay with journaling detached: these chunks are already on disk.
-	closeSeen := false
-	for _, req := range rec.chunks {
-		if _, _, err := sess.publish(req); err != nil {
-			s.logf("session %s replay: %v", meta.ID, err)
-			break
-		}
-		if req.Close {
-			closeSeen = true
-		}
-	}
-
-	// Reattach the journal (append mode) so the resumed session keeps
-	// logging new chunks.
-	sj, err := s.journal.open(meta.ID)
-	if err != nil {
-		return err
-	}
-	sess.sj = sj
-	if closeSeen || meta.State != api.SessionOpen {
-		sess.closeStream()
-	} else {
-		sess.persistMeta()
-	}
-	s.logf("session %s recovered (%d chunk(s) replayed, last_seq %d)",
-		meta.ID, len(rec.chunks), sess.snapshot(now).LastSeq)
-	return nil
-}
-
-// recoveryBufferFloor is the minimum per-topic bus depth used while
-// replaying a journaled chunk log at startup.
-const recoveryBufferFloor = 1 << 16
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
