@@ -126,6 +126,15 @@ type Report struct {
 	// GPSMode is the KF variant stage 2 used ("audio-only" when the IMU
 	// was flagged, "audio+imu" otherwise).
 	GPSMode string `json:"gps_mode"`
+	// Precision is the arithmetic the signature/inference hot path ran
+	// under: "float64" (the exact default) or "float32" (the opt-in fast
+	// path). Omitted by servers predating the field, which only ever ran
+	// float64.
+	Precision string `json:"precision,omitempty"`
+	// Tolerance is the documented per-feature absolute error bound of
+	// the precision mode relative to exact float64 — 0 for float64
+	// itself, so it is omitted there.
+	Tolerance float64 `json:"tolerance,omitempty"`
 }
 
 // FlightResponse is the POST /v1/flights response: the batch report for
@@ -151,6 +160,11 @@ type SessionRequest struct {
 	// GapFill processes dropout windows from zero-filled audio instead
 	// of skipping them.
 	GapFill bool `json:"gap_fill,omitempty"`
+	// Precision selects the arithmetic of the session's hot path:
+	// "float64" (default, also for the empty string) or "float32" (the
+	// opt-in fast path; the session's report echoes the mode and its
+	// tolerance). Unknown values are rejected with 422.
+	Precision string `json:"precision,omitempty"`
 }
 
 // SessionResponse is the POST /v1/sessions response.

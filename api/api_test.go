@@ -37,7 +37,8 @@ func sampleCoreReport() soundboost.Report {
 			PeakError:     2.125,
 			Threshold:     1.0625,
 		},
-		GPSMode: kalman.ModeAudioOnly,
+		GPSMode:   kalman.ModeAudioOnly,
+		Precision: soundboost.Float32,
 	}
 }
 
@@ -60,6 +61,52 @@ func TestReportRoundTrip(t *testing.T) {
 	}
 	if got := decoded.ToCore(); !reflect.DeepEqual(got, want) {
 		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestReportPrecisionWire pins the precision fields' wire behaviour:
+// float32 reports carry the mode and its documented tolerance; float64
+// reports name their mode but omit the zero tolerance; reports from
+// code predating the field (zero-value Precision) omit both, so their
+// serialized bytes are identical to the pre-field schema.
+func TestReportPrecisionWire(t *testing.T) {
+	r := sampleCoreReport()
+	r.Precision = soundboost.Float32
+	raw, err := json.Marshal(ReportFromCore(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"precision":"float32"`) {
+		t.Errorf("float32 report missing precision field: %s", raw)
+	}
+	if !strings.Contains(string(raw), `"tolerance":0.001`) {
+		t.Errorf("float32 report missing tolerance field: %s", raw)
+	}
+	r.Precision = soundboost.Float64
+	raw, err = json.Marshal(ReportFromCore(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"precision":"float64"`) {
+		t.Errorf("float64 report missing precision field: %s", raw)
+	}
+	if strings.Contains(string(raw), "tolerance") {
+		t.Errorf("float64 report must omit the zero tolerance: %s", raw)
+	}
+	r.Precision = ""
+	raw, err = json.Marshal(ReportFromCore(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "precision") || strings.Contains(string(raw), "tolerance") {
+		t.Errorf("zero-precision report must omit precision/tolerance: %s", raw)
+	}
+	var decoded Report
+	if err := DecodeStrict(bytes.NewReader(raw), &decoded); err != nil {
+		t.Fatalf("strict decode: %v", err)
+	}
+	if got := decoded.ToCore().Precision; got != "" {
+		t.Errorf("omitted precision decoded as %q, want the zero value", got)
 	}
 }
 
@@ -182,6 +229,7 @@ func schemaSamples() map[string]any {
 			Buffer:            8192,
 			LagHorizonSeconds: 5,
 			GapFill:           true,
+			Precision:         string(soundboost.Float32),
 		},
 		"SessionResponse": SessionResponse{SchemaVersion: Version, ID: "s-0001", State: SessionOpen},
 		"FramesRequest": FramesRequest{

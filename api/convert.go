@@ -31,7 +31,9 @@ func ReportFromCore(r soundboost.Report) Report {
 			PeakError:        r.GPS.PeakError,
 			Threshold:        r.GPS.Threshold,
 		},
-		GPSMode: string(r.GPSMode),
+		GPSMode:   string(r.GPSMode),
+		Precision: string(r.Precision),
+		Tolerance: r.Precision.Tolerance(),
 	}
 }
 
@@ -54,6 +56,8 @@ func (r Report) ToCore() soundboost.Report {
 			Threshold:     r.GPS.Threshold,
 		},
 		GPSMode: kalman.Mode(r.GPSMode),
+		// Tolerance is derived from Precision, never stored separately.
+		Precision: soundboost.Precision(r.Precision),
 	}
 }
 

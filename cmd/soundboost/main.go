@@ -259,6 +259,7 @@ func runCalibrate(args []string) error {
 		calibDir   = fs.String("calib", "flights", "directory of benign calibration flights")
 		triagePath = fs.String("triage", "", "trained triage tier to embed (from `soundboost train -triage`); verified flip-free against the calibration corpus")
 		outPath    = fs.String("out", "analyzer.json", "output analyzer path")
+		precision  = fs.String("precision", "", "hot-path arithmetic baked into the persisted analyzer: float64 (exact default) or float32 (fast path; thresholds calibrate under float32 features)")
 	)
 	rt := addRuntimeFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -267,7 +268,15 @@ func runCalibrate(args []string) error {
 	if err := rt.apply(); err != nil {
 		return err
 	}
-	analyzer, err := buildAnalyzer(*modelPath, *calibDir)
+	var opts []soundboost.AnalyzerOption
+	if *precision != "" {
+		p, err := soundboost.ParsePrecision(*precision)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, soundboost.WithPrecision(p))
+	}
+	analyzer, err := buildAnalyzer(*modelPath, *calibDir, opts...)
 	if err != nil {
 		return err
 	}
@@ -317,7 +326,7 @@ func runCalibrate(args []string) error {
 
 // buildAnalyzer loads the model and calibrates detectors on a benign
 // flight directory.
-func buildAnalyzer(modelPath, calibDir string) (*soundboost.Analyzer, error) {
+func buildAnalyzer(modelPath, calibDir string, opts ...soundboost.AnalyzerOption) (*soundboost.Analyzer, error) {
 	mf, err := os.Open(modelPath)
 	if err != nil {
 		return nil, err
@@ -337,7 +346,7 @@ func buildAnalyzer(modelPath, calibDir string) (*soundboost.Analyzer, error) {
 			benign = append(benign, f)
 		}
 	}
-	return soundboost.NewAnalyzer(model, benign)
+	return soundboost.NewAnalyzer(model, benign, opts...)
 }
 
 func runRCA(args []string) error {

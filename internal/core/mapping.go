@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"sync"
 
 	"soundboost/internal/acoustics"
 	"soundboost/internal/dataset"
@@ -111,10 +112,67 @@ type AcousticModel struct {
 	net      *nn.Sequential
 	featNorm normalizer
 	labNorm  normalizer
+	f32      *model32
+}
+
+// model32 holds the lazily compiled float32 inference state. One
+// holder is shared by every precision clone of a model (WithPrecision
+// copies the pointer), so the network is lowered at most once per
+// trained model regardless of how many sessions or replicas opt in.
+type model32 struct {
+	once       sync.Once
+	net        *nn.Net32
+	featMean   []float32
+	featInvStd []float32
+}
+
+// compile lowers the float64 network and normalizer once. net stays
+// nil when the network has a layer the float32 path cannot lower;
+// Predict then falls back to float64 arithmetic.
+func (h *model32) compile(m *AcousticModel) {
+	h.once.Do(func() {
+		n32, err := nn.Compile32(m.net)
+		if err != nil {
+			return
+		}
+		h.featMean = make([]float32, len(m.featNorm.Mean))
+		h.featInvStd = make([]float32, len(m.featNorm.Std))
+		for i, v := range m.featNorm.Mean {
+			h.featMean[i] = float32(v)
+		}
+		for i, v := range m.featNorm.Std {
+			h.featInvStd[i] = float32(1 / v)
+		}
+		h.net = n32
+	})
 }
 
 // Config returns the model's mapping configuration.
 func (m *AcousticModel) Config() MappingConfig { return m.cfg }
+
+// Precision returns the model's hot-path arithmetic mode (the zero
+// value reads as the float64 default).
+func (m *AcousticModel) Precision() Precision { return m.cfg.Signature.Precision }
+
+// WithPrecision returns a model sharing this model's weights and
+// normalisation but computing signatures and predictions under the
+// given precision. The receiver is unchanged; clones share one lazily
+// compiled float32 lowering.
+func (m *AcousticModel) WithPrecision(p Precision) (*AcousticModel, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	// The zero value and Float64 are the same mode: never clone (or
+	// stamp an explicit "float64" into the config, which would change
+	// the saved-model JSON) when the mode is not actually changing.
+	cur := m.cfg.Signature.Precision
+	if cur == p || (cur == "" && p == Float64) || (cur == Float64 && p == "") {
+		return m, nil
+	}
+	clone := *m
+	clone.cfg.Signature.Precision = p
+	return &clone, nil
+}
 
 // WindowSample is one aligned (signature, IMU label) training pair.
 type WindowSample struct {
@@ -273,7 +331,7 @@ func TrainModelFromSamples(xs, ys, valX, valY [][]float64, cfg MappingConfig) (*
 	if err != nil {
 		return nil, nn.TrainHistory{}, err
 	}
-	return &AcousticModel{cfg: cfg, net: net, featNorm: featNorm, labNorm: labNorm}, hist, nil
+	return &AcousticModel{cfg: cfg, net: net, featNorm: featNorm, labNorm: labNorm, f32: &model32{}}, hist, nil
 }
 
 // TrainModel fits the acoustic model on benign training flights, applying
@@ -305,11 +363,28 @@ func TrainModel(trainFlights, valFlights []*dataset.Flight, cfg MappingConfig) (
 
 // Predict maps a raw signature to the predicted body-frame specific force.
 // It goes through the network's cache-free inference path and is safe for
-// concurrent use.
+// concurrent use. Under the float32 precision mode it runs the fused
+// normalize+infer float32 program when the network lowers; otherwise
+// (and by default) it uses exact float64 arithmetic.
 func (m *AcousticModel) Predict(features []float64) mathx.Vec3 {
 	span := predictTimer.Start()
+	defer span.Stop()
+	if m.cfg.Signature.Precision == Float32 && m.f32 != nil {
+		m.f32.compile(m)
+		if h := m.f32; h.net != nil {
+			x := make([]float32, len(features))
+			for i, v := range features {
+				x[i] = (float32(v) - h.featMean[i]) * h.featInvStd[i]
+			}
+			out := h.net.Infer(x)
+			return mathx.Vec3{
+				X: float64(out[0])*m.labNorm.Std[0] + m.labNorm.Mean[0],
+				Y: float64(out[1])*m.labNorm.Std[1] + m.labNorm.Mean[1],
+				Z: float64(out[2])*m.labNorm.Std[2] + m.labNorm.Mean[2],
+			}
+		}
+	}
 	out := m.labNorm.invert(m.net.Infer(m.featNorm.apply(features)))
-	span.Stop()
 	return mathx.Vec3{X: out[0], Y: out[1], Z: out[2]}
 }
 
@@ -423,5 +498,5 @@ func LoadModel(r io.Reader) (*AcousticModel, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &AcousticModel{cfg: mf.Cfg, net: net, featNorm: mf.FeatNorm, labNorm: mf.LabNorm}, nil
+	return &AcousticModel{cfg: mf.Cfg, net: net, featNorm: mf.FeatNorm, labNorm: mf.LabNorm, f32: &model32{}}, nil
 }

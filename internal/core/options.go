@@ -13,10 +13,12 @@ import (
 type AnalyzerOption func(*analyzerOptions)
 
 type analyzerOptions struct {
-	workers int
-	imuCfg  IMUDetectorConfig
-	gpsCfgs map[kalman.Mode]GPSDetectorConfig
-	triage  *triage.Model
+	workers      int
+	imuCfg       IMUDetectorConfig
+	gpsCfgs      map[kalman.Mode]GPSDetectorConfig
+	triage       *triage.Model
+	precision    Precision
+	precisionSet bool
 }
 
 func defaultAnalyzerOptions() analyzerOptions {
@@ -57,8 +59,28 @@ func WithTriage(m *triage.Model) AnalyzerOption {
 	return func(o *analyzerOptions) { o.triage = m }
 }
 
+// WithPrecision selects the arithmetic of the signature/inference hot
+// path for the analyzer being calibrated. It applies BEFORE
+// calibration, so the detector thresholds are fitted under the same
+// arithmetic Analyze will run — the analyzer is self-consistent. To
+// re-precision an already calibrated analyzer while preserving its
+// thresholds exactly (the equivalence-testing shape), use
+// Analyzer.WithPrecision instead. The default leaves the model's own
+// configured precision in force (Float64 unless the model opts in).
+func WithPrecision(p Precision) AnalyzerOption {
+	return func(o *analyzerOptions) {
+		o.precision = p
+		o.precisionSet = true
+	}
+}
+
 // validate rejects option combinations the analyzer cannot calibrate.
 func (o *analyzerOptions) validate() error {
+	if o.precisionSet {
+		if err := o.precision.validate(); err != nil {
+			return err
+		}
+	}
 	for mode := range o.gpsCfgs {
 		if mode != kalman.ModeAudioOnly && mode != kalman.ModeAudioIMU {
 			return fmt.Errorf("soundboost: WithKFVariant: analyzer KF variant must be %q or %q, got %q",

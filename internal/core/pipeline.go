@@ -45,6 +45,11 @@ type Report struct {
 	// GPSMode records which KF variant stage 2 used (audio-only when the
 	// IMU was flagged, audio+IMU otherwise).
 	GPSMode kalman.Mode
+	// Precision records the arithmetic the signature/inference hot path
+	// ran under. The zero value means the bitwise-pinned Float64 default;
+	// Float32 marks a report produced by the opt-in fast path, whose
+	// per-feature error bound is Precision.Tolerance().
+	Precision Precision
 }
 
 // String renders a human-readable RCA summary.
@@ -103,6 +108,13 @@ func NewAnalyzer(model *AcousticModel, benignFlights []*dataset.Flight, opts ...
 	}
 	if err := o.validate(); err != nil {
 		return nil, err
+	}
+	if o.precisionSet {
+		var err error
+		model, err = model.WithPrecision(o.precision)
+		if err != nil {
+			return nil, err
+		}
 	}
 	span := analyzerCalibTimer.Start()
 	defer span.Stop()
@@ -170,6 +182,56 @@ func (a *Analyzer) WithGPSMargin(mode kalman.Mode, margin float64) (*Analyzer, e
 	return &clone, nil
 }
 
+// Precision reports the arithmetic mode the analyzer's model runs
+// under (the zero value of the model config reads back as Float64).
+func (a *Analyzer) Precision() Precision {
+	if a.Model == nil {
+		return Float64
+	}
+	if p := a.Model.Precision(); p != "" {
+		return p
+	}
+	return Float64
+}
+
+// WithPrecision returns a shallow copy of the analyzer whose signature
+// extraction and inference hot path runs under the given precision. The
+// calibrated thresholds are preserved exactly — no recalibration — so
+// the copy is directly comparable to the receiver: the float32 path is
+// verified corpus-wide to flip zero verdicts against float64 under the
+// per-feature bound p.Tolerance(). The receiver stays usable unchanged;
+// detector clones share everything but the re-precisioned model.
+func (a *Analyzer) WithPrecision(p Precision) (*Analyzer, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	model, err := a.Model.WithPrecision(p)
+	if err != nil {
+		return nil, err
+	}
+	if model == a.Model {
+		return a, nil
+	}
+	clone := *a
+	clone.Model = model
+	if a.IMU != nil {
+		imu := *a.IMU
+		imu.model = model
+		clone.IMU = &imu
+	}
+	if a.GPSAudioOnly != nil {
+		d := *a.GPSAudioOnly
+		d.model = model
+		clone.GPSAudioOnly = &d
+	}
+	if a.GPSAudioIMU != nil {
+		d := *a.GPSAudioIMU
+		d.model = model
+		clone.GPSAudioIMU = &d
+	}
+	return &clone, nil
+}
+
 // Analyze runs the full two-stage RCA over a flight. A nil or empty
 // flight returns ErrNoFlight. On a stage error the partial report still
 // carries a coherent GPSMode: the variant stage 2 would have used given
@@ -178,7 +240,7 @@ func (a *Analyzer) Analyze(f *dataset.Flight) (Report, error) {
 	span := analyzeTimer.Start()
 	defer span.Stop()
 	if f == nil || (len(f.Telemetry) == 0 && (f.Audio == nil || f.Audio.Samples() == 0)) {
-		return Report{GPSMode: a.GPSAudioIMU.Mode()}, ErrNoFlight
+		return Report{GPSMode: a.GPSAudioIMU.Mode(), Precision: a.Precision()}, ErrNoFlight
 	}
 	// Screening tier: a flight whose every window is confident-benign
 	// skips both detector stages. The screen only ever concludes "none",
@@ -189,7 +251,7 @@ func (a *Analyzer) Analyze(f *dataset.Flight) (Report, error) {
 			return FastBenignReport(f.Name, a), nil
 		}
 	}
-	report := Report{Flight: f.Name, GPSMode: a.GPSAudioIMU.Mode()}
+	report := Report{Flight: f.Name, GPSMode: a.GPSAudioIMU.Mode(), Precision: a.Precision()}
 
 	imuVerdict, err := a.IMU.Detect(f)
 	if err != nil {

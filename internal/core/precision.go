@@ -1,0 +1,66 @@
+package soundboost
+
+import "fmt"
+
+// Precision selects the arithmetic of the signature/inference hot path.
+// The zero value means Float64, the bitwise-pinned default: batch,
+// stream and fleet paths all produce bit-identical features and
+// verdicts under it, and every equivalence test in the repo pins that.
+// Float32 is the opt-in fast path — real-input FFTs over float32
+// buffers and float32 network inference — verified corpus-wide to
+// produce identical verdicts within the documented per-feature
+// tolerance (see DESIGN.md, "Precision & tolerance contract").
+type Precision string
+
+const (
+	// Float64 is the exact default.
+	Float64 Precision = "float64"
+	// Float32 is the opt-in single-precision fast path.
+	Float32 Precision = "float32"
+)
+
+// Float32Tolerance is the documented per-feature absolute error bound
+// of the float32 path relative to float64, on normalized (log-domain)
+// signature features. Measured corpus-wide by the equivalence suite
+// with an order-of-magnitude safety margin; see DESIGN.md.
+const Float32Tolerance = 1e-3
+
+// ParsePrecision converts a wire/flag string to a Precision. The empty
+// string parses as Float64.
+func ParsePrecision(s string) (Precision, error) {
+	switch Precision(s) {
+	case "", Float64:
+		return Float64, nil
+	case Float32:
+		return Float32, nil
+	}
+	return "", fmt.Errorf("soundboost: unknown precision %q (want %q or %q)", s, Float64, Float32)
+}
+
+// validate accepts the zero value and the two named precisions.
+func (p Precision) validate() error {
+	switch p {
+	case "", Float64, Float32:
+		return nil
+	}
+	return fmt.Errorf("soundboost: unknown precision %q (want %q or %q)", p, Float64, Float32)
+}
+
+// Tolerance returns the documented per-feature error bound of the
+// precision mode: 0 for the exact float64 default, Float32Tolerance
+// for the float32 fast path.
+func (p Precision) Tolerance() float64 {
+	if p == Float32 {
+		return Float32Tolerance
+	}
+	return 0
+}
+
+// String returns the wire spelling, with the zero value rendered as
+// the float64 default.
+func (p Precision) String() string {
+	if p == "" {
+		return string(Float64)
+	}
+	return string(p)
+}

@@ -10,6 +10,7 @@ package soundboost
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"soundboost/internal/acoustics"
 	"soundboost/internal/dsp"
@@ -38,6 +39,11 @@ type SignatureConfig struct {
 	// determines steady-state aerodynamic drag, the one body-frame force
 	// component rotor sound alone cannot resolve.
 	AttitudeFeatures bool
+	// Precision selects the hot-path arithmetic. The zero value is the
+	// bitwise-pinned Float64 default; Float32 opts into the
+	// single-precision fast path (see Precision). omitempty keeps
+	// models saved before the field existed byte-identical on re-save.
+	Precision Precision `json:",omitempty"`
 }
 
 // DefaultSignatureConfig derives the analysis layout from the synthesiser
@@ -86,7 +92,7 @@ func (c SignatureConfig) Validate() error {
 			return fmt.Errorf("soundboost: band %q is empty or inverted (%g..%g Hz)", b.Name, b.Low, b.High)
 		}
 	}
-	return nil
+	return c.Precision.validate()
 }
 
 // ValidateForRate validates the config against a concrete sample rate:
@@ -151,6 +157,22 @@ type Extractor struct {
 	cfg      SignatureConfig
 	rate     float64
 	filtered [acoustics.NumMics][]float64
+
+	// f32sub memoizes per-sub-frame float32 features (log band energies
+	// plus log RMS) keyed by exact integer sample offsets. Consecutive
+	// signature windows overlap (hop < window), so their sub-frame grids
+	// land on identical sample ranges; recomputing those FFTs yields
+	// bit-identical values, making the cache a pure dedupe. Float32-mode
+	// only — the float64 path stays byte-for-byte untouched.
+	f32mu  sync.Mutex
+	f32sub map[subFrameKey][]float64
+}
+
+// subFrameKey identifies one cached sub-frame: mic index, absolute
+// start sample, and sub-frame length in samples (augmented/stretched
+// windows use a different length and therefore a different key).
+type subFrameKey struct {
+	mic, start, sub int
 }
 
 // NewExtractor prepares signature extraction for a recording.
@@ -207,11 +229,18 @@ func (e *Extractor) Features(t0, windowSeconds float64) []float64 {
 		windowsRejected.Inc()
 		return nil
 	}
-	var chans [acoustics.NumMics][]float64
-	for m := range chans {
-		chans[m] = e.filtered[m][start : start+total]
+	var out []float64
+	if e.cfg.Precision == Float32 {
+		// The extractor-backed fast path memoizes sub-frames across
+		// overlapping windows; the stateless kernel below recomputes them.
+		out = e.acousticWindow32Cached(start, total)
+	} else {
+		var chans [acoustics.NumMics][]float64
+		for m := range chans {
+			chans[m] = e.filtered[m][start : start+total]
+		}
+		out = e.cfg.AcousticWindow(chans, e.rate)
 	}
-	out := e.cfg.AcousticWindow(chans, e.rate)
 	if out == nil {
 		windowsRejected.Inc()
 	}
@@ -232,6 +261,9 @@ func (c SignatureConfig) AcousticWindow(chans [acoustics.NumMics][]float64, rate
 	sub := total / c.SubFrames
 	if sub < 8 {
 		return nil
+	}
+	if c.Precision == Float32 {
+		return c.acousticWindow32(chans, rate, sub)
 	}
 	nfft := dsp.NextPow2(sub)
 	perFrame := len(c.Bands) + 1
@@ -268,6 +300,107 @@ func (c SignatureConfig) AcousticWindow(chans [acoustics.NumMics][]float64, rate
 				out[base+b] = math.Log1p(energy)
 			}
 			out[base+len(c.Bands)] = math.Log1p(rms)
+		}
+	}
+	return out
+}
+
+// acousticWindow32 is the float32 fast path of AcousticWindow: one
+// fused pass per sub-frame converts, Hann-windows and accumulates the
+// RMS of the samples into a pooled float32 buffer, a packed real-input
+// FFT produces the half spectrum at half the butterfly work, and band
+// powers sum squared bins directly off the complex64 spectrum — no
+// magnitude slice, one square root per band instead of one per bin.
+// Feature layout and normalisation match the float64 kernel exactly;
+// values differ only within the documented Float32Tolerance.
+func (c SignatureConfig) acousticWindow32(chans [acoustics.NumMics][]float64, rate float64, sub int) []float64 {
+	nfft := dsp.NextPow2(sub)
+	perFrame := len(c.Bands) + 1
+	out := make([]float64, c.AcousticDim())
+	plan := dsp.PlanFFT32(nfft)
+	re := dsp.AcquireFloats32(nfft)
+	defer dsp.ReleaseFloats32(re)
+	spec := dsp.AcquireComplex64(plan.SpectrumLen())
+	defer dsp.ReleaseComplex64(spec)
+	win := dsp.CachedHann32(sub)
+	invSqrtN := 1 / math.Sqrt(float64(nfft))
+	for m := 0; m < acoustics.NumMics; m++ {
+		ch := chans[m]
+		for s := 0; s < c.SubFrames; s++ {
+			off := s * sub
+			base := (m*c.SubFrames + s) * perFrame
+			spec = c.subFrame32(ch[off:off+sub], nfft, rate, plan, re, spec, win, invSqrtN, out[base:base+perFrame])
+		}
+	}
+	return out
+}
+
+// subFrame32 computes one sub-frame's features — log band energies
+// followed by log RMS — into dst, using the caller's pooled transform
+// buffers. re[len(ch):] must already be zero (the arena hands buffers
+// out zeroed and ForwardReal leaves its input untouched). Returns the
+// (possibly regrown) spectrum slice.
+func (c SignatureConfig) subFrame32(ch []float64, nfft int, rate float64, plan *dsp.Plan32, re []float32, spec []complex64, win []float32, invSqrtN float64, dst []float64) []complex64 {
+	sub := len(ch)
+	var sumSq float32
+	for i, v32 := range ch {
+		v := float32(v32)
+		sumSq += v * v
+		re[i] = v * win[i]
+	}
+	spec = plan.ForwardReal(re, spec)
+	for b, band := range c.Bands {
+		energy := dsp.BandPower32(spec, nfft, rate, band) * invSqrtN
+		dst[b] = math.Log1p(energy)
+	}
+	dst[len(c.Bands)] = math.Log1p(math.Sqrt(float64(sumSq) / float64(sub)))
+	return spec
+}
+
+// acousticWindow32Cached is the float32 kernel fed through the
+// extractor's sub-frame memo: every (mic, start sample, sub length)
+// grid cell is transformed at most once per recording. Because hop <
+// window, consecutive windows share sub-frames at identical sample
+// offsets, and each RCA detector walks the same grid — both dedupes
+// return bit-identical values, so cached and recomputed signatures are
+// indistinguishable. Two goroutines racing on the same missing key both
+// compute the same values; the second store is a harmless overwrite.
+func (e *Extractor) acousticWindow32Cached(start, total int) []float64 {
+	c := e.cfg
+	sub := total / c.SubFrames
+	if sub < 8 {
+		return nil
+	}
+	nfft := dsp.NextPow2(sub)
+	perFrame := len(c.Bands) + 1
+	out := make([]float64, c.AcousticDim())
+	plan := dsp.PlanFFT32(nfft)
+	re := dsp.AcquireFloats32(nfft)
+	defer dsp.ReleaseFloats32(re)
+	spec := dsp.AcquireComplex64(plan.SpectrumLen())
+	defer dsp.ReleaseComplex64(spec)
+	win := dsp.CachedHann32(sub)
+	invSqrtN := 1 / math.Sqrt(float64(nfft))
+	for m := 0; m < acoustics.NumMics; m++ {
+		ch := e.filtered[m]
+		for s := 0; s < c.SubFrames; s++ {
+			off := start + s*sub
+			base := (m*c.SubFrames + s) * perFrame
+			key := subFrameKey{mic: m, start: off, sub: sub}
+			e.f32mu.Lock()
+			cached, ok := e.f32sub[key]
+			e.f32mu.Unlock()
+			if !ok {
+				cached = make([]float64, perFrame)
+				spec = c.subFrame32(ch[off:off+sub], nfft, e.rate, plan, re, spec, win, invSqrtN, cached)
+				e.f32mu.Lock()
+				if e.f32sub == nil {
+					e.f32sub = make(map[subFrameKey][]float64)
+				}
+				e.f32sub[key] = cached
+				e.f32mu.Unlock()
+			}
+			copy(out[base:base+perFrame], cached)
 		}
 	}
 	return out

@@ -72,6 +72,14 @@ func forEachTriageWindow(f *dataset.Flight, sig SignatureConfig, fc triage.Featu
 		}
 	}
 
+	// The screen runs under the signature precision: Float32 swaps in the
+	// real-input float32 spectral kernel, everything else (window grid,
+	// telemetry shedding, escalation predicates) is shared code.
+	features := fc.Features
+	if sig.Precision == Float32 {
+		features = fc.Features32
+	}
+
 	win := sig.WindowSeconds
 	hop := sig.HopSeconds
 	total := int(win * rate)
@@ -100,7 +108,7 @@ func forEachTriageWindow(f *dataset.Flight, sig SignatureConfig, fc triage.Featu
 		}
 		w := triageWindow{t0: t0, t1: t1}
 		if imuHi > imuLo {
-			w.feat = fc.Features(audio[start:start+total], rate, imuRows[imuLo:imuHi], gpsRows[gpsLo:gpsHi])
+			w.feat = features(audio[start:start+total], rate, imuRows[imuLo:imuHi], gpsRows[gpsLo:gpsHi])
 		}
 		if !fn(w) {
 			return nil
@@ -155,10 +163,11 @@ func (a *Analyzer) screenFlight(f *dataset.Flight) (benign bool, maxDist float64
 // the full pipeline never ran.
 func FastBenignReport(flight string, a *Analyzer) Report {
 	return Report{
-		Flight:  flight,
-		Cause:   CauseNone,
-		GPSMode: a.GPSAudioIMU.Mode(),
-		GPS:     GPSVerdict{Threshold: a.GPSAudioIMU.Threshold()},
+		Flight:    flight,
+		Cause:     CauseNone,
+		GPSMode:   a.GPSAudioIMU.Mode(),
+		GPS:       GPSVerdict{Threshold: a.GPSAudioIMU.Threshold()},
+		Precision: a.Precision(),
 	}
 }
 

@@ -1,9 +1,15 @@
 package dsp
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrBadFilterConfig is the sentinel wrapped by every filter-design
+// error, mirroring ErrBadSTFTConfig so callers can branch with
+// errors.Is instead of string matching.
+var ErrBadFilterConfig = errors.New("dsp: invalid filter configuration")
 
 // Biquad is a second-order IIR filter section in direct form II transposed.
 // SoundBoost uses a low-pass biquad to discard everything above the
@@ -18,8 +24,11 @@ type Biquad struct {
 // NewLowPass designs a Butterworth-style low-pass biquad with the given
 // cutoff (Hz) at sampleRate (Hz). Cutoff must lie in (0, sampleRate/2).
 func NewLowPass(cutoff, sampleRate float64) (*Biquad, error) {
-	if cutoff <= 0 || cutoff >= sampleRate/2 {
-		return nil, fmt.Errorf("dsp: low-pass cutoff %g Hz out of range (0, %g)", cutoff, sampleRate/2)
+	if err := checkFilterRate(sampleRate); err != nil {
+		return nil, fmt.Errorf("%w: low-pass: %v", ErrBadFilterConfig, err)
+	}
+	if !isFinite(cutoff) || cutoff <= 0 || cutoff >= sampleRate/2 {
+		return nil, fmt.Errorf("%w: low-pass cutoff %g Hz outside (0, %g)", ErrBadFilterConfig, cutoff, sampleRate/2)
 	}
 	w0 := 2 * math.Pi * cutoff / sampleRate
 	q := math.Sqrt2 / 2
@@ -37,8 +46,11 @@ func NewLowPass(cutoff, sampleRate float64) (*Biquad, error) {
 
 // NewHighPass designs a Butterworth-style high-pass biquad.
 func NewHighPass(cutoff, sampleRate float64) (*Biquad, error) {
-	if cutoff <= 0 || cutoff >= sampleRate/2 {
-		return nil, fmt.Errorf("dsp: high-pass cutoff %g Hz out of range (0, %g)", cutoff, sampleRate/2)
+	if err := checkFilterRate(sampleRate); err != nil {
+		return nil, fmt.Errorf("%w: high-pass: %v", ErrBadFilterConfig, err)
+	}
+	if !isFinite(cutoff) || cutoff <= 0 || cutoff >= sampleRate/2 {
+		return nil, fmt.Errorf("%w: high-pass cutoff %g Hz outside (0, %g)", ErrBadFilterConfig, cutoff, sampleRate/2)
 	}
 	w0 := 2 * math.Pi * cutoff / sampleRate
 	q := math.Sqrt2 / 2
@@ -57,11 +69,14 @@ func NewHighPass(cutoff, sampleRate float64) (*Biquad, error) {
 // NewBandPass designs a constant-peak band-pass biquad centered at center Hz
 // with the given quality factor q.
 func NewBandPass(center, q, sampleRate float64) (*Biquad, error) {
-	if center <= 0 || center >= sampleRate/2 {
-		return nil, fmt.Errorf("dsp: band-pass center %g Hz out of range (0, %g)", center, sampleRate/2)
+	if err := checkFilterRate(sampleRate); err != nil {
+		return nil, fmt.Errorf("%w: band-pass: %v", ErrBadFilterConfig, err)
 	}
-	if q <= 0 {
-		return nil, fmt.Errorf("dsp: band-pass q %g must be positive", q)
+	if !isFinite(center) || center <= 0 || center >= sampleRate/2 {
+		return nil, fmt.Errorf("%w: band-pass center %g Hz outside (0, %g)", ErrBadFilterConfig, center, sampleRate/2)
+	}
+	if !isFinite(q) || q <= 0 {
+		return nil, fmt.Errorf("%w: band-pass q %g must be a positive finite number", ErrBadFilterConfig, q)
 	}
 	w0 := 2 * math.Pi * center / sampleRate
 	alpha := math.Sin(w0) / (2 * q)
@@ -74,6 +89,21 @@ func NewBandPass(center, q, sampleRate float64) (*Biquad, error) {
 		a1: -2 * cosw / a0,
 		a2: (1 - alpha) / a0,
 	}, nil
+}
+
+// checkFilterRate rejects non-finite and non-positive sample rates.
+// NaN in particular would sail through the range comparisons (every NaN
+// comparison is false) and poison the biquad coefficients.
+func checkFilterRate(sampleRate float64) error {
+	if !isFinite(sampleRate) || sampleRate <= 0 {
+		return fmt.Errorf("sample rate %g must be a positive finite number", sampleRate)
+	}
+	return nil
+}
+
+// isFinite reports whether v is neither NaN nor ±Inf.
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 // Process filters one sample, advancing internal state.

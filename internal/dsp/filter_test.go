@@ -1,6 +1,7 @@
 package dsp
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -63,22 +64,53 @@ func TestBandPassGain(t *testing.T) {
 }
 
 func TestFilterDesignErrors(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
 	tests := []struct {
 		name string
 		fn   func() error
 	}{
 		{"lowpass zero cutoff", func() error { _, err := NewLowPass(0, 8000); return err }},
+		{"lowpass at nyquist", func() error { _, err := NewLowPass(4000, 8000); return err }},
 		{"lowpass above nyquist", func() error { _, err := NewLowPass(5000, 8000); return err }},
+		{"lowpass NaN cutoff", func() error { _, err := NewLowPass(nan, 8000); return err }},
+		{"lowpass Inf cutoff", func() error { _, err := NewLowPass(inf, 8000); return err }},
+		{"lowpass NaN rate", func() error { _, err := NewLowPass(1000, nan); return err }},
+		{"lowpass zero rate", func() error { _, err := NewLowPass(1000, 0); return err }},
 		{"highpass negative", func() error { _, err := NewHighPass(-10, 8000); return err }},
+		{"highpass at nyquist", func() error { _, err := NewHighPass(4000, 8000); return err }},
+		{"highpass NaN cutoff", func() error { _, err := NewHighPass(nan, 8000); return err }},
+		{"highpass Inf rate", func() error { _, err := NewHighPass(1000, inf); return err }},
 		{"bandpass zero q", func() error { _, err := NewBandPass(1000, 0, 8000); return err }},
-		{"bandpass above nyquist", func() error { _, err := NewBandPass(4000, 1, 8000); return err }},
+		{"bandpass NaN q", func() error { _, err := NewBandPass(1000, nan, 8000); return err }},
+		{"bandpass Inf q", func() error { _, err := NewBandPass(1000, inf, 8000); return err }},
+		{"bandpass at nyquist", func() error { _, err := NewBandPass(4000, 1, 8000); return err }},
+		{"bandpass above nyquist", func() error { _, err := NewBandPass(5000, 1, 8000); return err }},
+		{"bandpass NaN center", func() error { _, err := NewBandPass(nan, 1, 8000); return err }},
+		{"bandpass NaN rate", func() error { _, err := NewBandPass(1000, 1, nan); return err }},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if err := tt.fn(); err == nil {
-				t.Error("want error, got nil")
+			err := tt.fn()
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if !errors.Is(err, ErrBadFilterConfig) {
+				t.Errorf("error %v does not wrap ErrBadFilterConfig", err)
 			}
 		})
+	}
+}
+
+// TestFilterDesignFiniteCoefficients pins the bug the typed errors fix:
+// NaN parameters used to pass the range checks (NaN comparisons are all
+// false) and produce a filter full of NaN coefficients.
+func TestFilterDesignFiniteCoefficients(t *testing.T) {
+	f, err := NewLowPass(1000, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y := f.Process(1); math.IsNaN(y) {
+		t.Error("valid filter produced NaN")
 	}
 }
 

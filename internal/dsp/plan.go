@@ -31,6 +31,7 @@ type Plan struct {
 	bitrev  []int
 	twidFwd []complex128 // exp(-2*pi*i*k/n), k < n/2
 	twidInv []complex128 // exp(+2*pi*i*k/n), k < n/2
+	rsub    *Plan        // half-length plan driving ForwardReal/InverseReal
 
 	// Bluestein path (all other n).
 	bs *bluesteinPlan
@@ -81,6 +82,8 @@ func newPlan(n int) *Plan {
 			p.twidFwd[k] = cmplx.Exp(complex(0, -angle))
 			p.twidInv[k] = cmplx.Exp(complex(0, angle))
 		}
+		// Safe recursion: newPlan runs outside the cache LoadOrStore.
+		p.rsub = PlanFFT(half)
 		return p
 	}
 	p.bs = newBluesteinPlan(n)
@@ -217,6 +220,7 @@ var (
 // AcquireComplex returns a zeroed scratch []complex128 of length n from
 // the arena. Release it with ReleaseComplex when done.
 func AcquireComplex(n int) []complex128 {
+	arenaAcquire(16 * n)
 	poolAny, ok := complexPools.Load(n)
 	if !ok {
 		poolAny, _ = complexPools.LoadOrStore(n, &sync.Pool{})
@@ -238,6 +242,7 @@ func ReleaseComplex(buf []complex128) {
 	if buf == nil {
 		return
 	}
+	arenaRelease(16 * len(buf))
 	if poolAny, ok := complexPools.Load(len(buf)); ok {
 		poolAny.(*sync.Pool).Put(&buf)
 	}
@@ -246,6 +251,7 @@ func ReleaseComplex(buf []complex128) {
 // AcquireFloats returns a zeroed scratch []float64 of length n from the
 // arena. Release it with ReleaseFloats when done.
 func AcquireFloats(n int) []float64 {
+	arenaAcquire(8 * n)
 	poolAny, ok := floatPools.Load(n)
 	if !ok {
 		poolAny, _ = floatPools.LoadOrStore(n, &sync.Pool{})
@@ -266,6 +272,7 @@ func ReleaseFloats(buf []float64) {
 	if buf == nil {
 		return
 	}
+	arenaRelease(8 * len(buf))
 	if poolAny, ok := floatPools.Load(len(buf)); ok {
 		poolAny.(*sync.Pool).Put(&buf)
 	}

@@ -8,28 +8,27 @@ import (
 // CrossCorrelate returns the circular cross-correlation of a and b via the
 // frequency domain: r[τ] = Σ a[t] b[t+τ]. Both inputs are zero-padded to
 // the next power of two at least len(a)+len(b)-1, so linear lags up to
-// ±(len-1) are unaliased.
+// ±(len-1) are unaliased. Both signals are real, so only the
+// non-redundant half spectra are transformed and multiplied.
 func CrossCorrelate(a, b []float64) []float64 {
 	n := NextPow2(len(a) + len(b) - 1)
-	fa := make([]complex128, n)
-	fb := make([]complex128, n)
-	for i, v := range a {
-		fa[i] = complex(v, 0)
-	}
-	for i, v := range b {
-		fb[i] = complex(v, 0)
-	}
-	A := FFT(fa)
-	B := FFT(fb)
+	plan := PlanFFT(n)
+	fa := AcquireFloats(n)
+	defer ReleaseFloats(fa)
+	fb := AcquireFloats(n)
+	defer ReleaseFloats(fb)
+	copy(fa, a)
+	copy(fb, b)
+	A := AcquireComplex(plan.SpectrumLen())
+	defer ReleaseComplex(A)
+	B := AcquireComplex(plan.SpectrumLen())
+	defer ReleaseComplex(B)
+	A = plan.ForwardReal(fa, A)
+	B = plan.ForwardReal(fb, B)
 	for i := range A {
 		A[i] = cmplx.Conj(A[i]) * B[i]
 	}
-	r := IFFT(A)
-	out := make([]float64, n)
-	for i, c := range r {
-		out[i] = real(c)
-	}
-	return out
+	return plan.InverseReal(A, make([]float64, n))
 }
 
 // GCCPHAT computes the Generalized Cross-Correlation with Phase Transform
@@ -39,16 +38,19 @@ func CrossCorrelate(a, b []float64) []float64 {
 // even for broadband rotor noise.
 func GCCPHAT(a, b []float64) []float64 {
 	n := NextPow2(len(a) + len(b) - 1)
-	fa := make([]complex128, n)
-	fb := make([]complex128, n)
-	for i, v := range a {
-		fa[i] = complex(v, 0)
-	}
-	for i, v := range b {
-		fb[i] = complex(v, 0)
-	}
-	A := FFT(fa)
-	B := FFT(fb)
+	plan := PlanFFT(n)
+	fa := AcquireFloats(n)
+	defer ReleaseFloats(fa)
+	fb := AcquireFloats(n)
+	defer ReleaseFloats(fb)
+	copy(fa, a)
+	copy(fb, b)
+	A := AcquireComplex(plan.SpectrumLen())
+	defer ReleaseComplex(A)
+	B := AcquireComplex(plan.SpectrumLen())
+	defer ReleaseComplex(B)
+	A = plan.ForwardReal(fa, A)
+	B = plan.ForwardReal(fb, B)
 	for i := range A {
 		c := cmplx.Conj(A[i]) * B[i]
 		mag := cmplx.Abs(c)
@@ -57,12 +59,7 @@ func GCCPHAT(a, b []float64) []float64 {
 		}
 		A[i] = c
 	}
-	r := IFFT(A)
-	out := make([]float64, n)
-	for i, c := range r {
-		out[i] = real(c)
-	}
-	return out
+	return plan.InverseReal(A, make([]float64, n))
 }
 
 // PeakLag finds the lag (in samples, possibly negative) of the maximum of

@@ -32,6 +32,19 @@ type ThroughputResult struct {
 	// p99 latencies of the two paths.
 	BaselineP99FlightSeconds float64
 	P99FlightSeconds         float64
+	// Float32BaselineFPS / Float32TriageFPS repeat the two measurements
+	// under the float32 fast path (threshold-preserving
+	// Analyzer.WithPrecision clone, so verdicts are comparable).
+	Float32BaselineFPS float64
+	Float32TriageFPS   float64
+	// Float32Speedup is Float32BaselineFPS / BaselineFPS — the precision
+	// win on the full pipeline, independent of triage screening. The
+	// bench gate holds this above a committed floor.
+	Float32Speedup float64
+	// Float32BaselineP99FlightSeconds / Float32P99FlightSeconds are the
+	// per-flight p99 latencies of the float32 paths.
+	Float32BaselineP99FlightSeconds float64
+	Float32P99FlightSeconds         float64
 }
 
 // TriageAnalyzer trains the KNN screening tier on the lab's calibration
@@ -139,17 +152,39 @@ func RunThroughput(lab *Lab, withTriage bool, logf func(string, ...any)) (Throug
 		return res, err
 	}
 	logf("baseline: %.2f flights/sec (p99 %.3fs/flight)", res.BaselineFPS, res.BaselineP99FlightSeconds)
-	if !withTriage {
-		return res, nil
+	if withTriage {
+		var fast int
+		res.TriageFPS, res.P99FlightSeconds, fast, err = measure(an)
+		if err != nil {
+			return res, err
+		}
+		res.Speedup = res.TriageFPS / res.BaselineFPS
+		res.FastpathRatio = float64(fast) / float64(len(flights))
+		logf("triage: %.2f flights/sec (p99 %.3fs/flight, %.0f%% fast-path, %.2fx)",
+			res.TriageFPS, res.P99FlightSeconds, 100*res.FastpathRatio, res.Speedup)
 	}
-	var fast int
-	res.TriageFPS, res.P99FlightSeconds, fast, err = measure(an)
+
+	// Float32 fast path over the same corpus: a threshold-preserving
+	// precision clone, so any verdict divergence would surface as an
+	// Analyze error or a different fast-path count, not silent skew.
+	an32, err := an.WithPrecision(soundboost.Float32)
 	if err != nil {
 		return res, err
 	}
-	res.Speedup = res.TriageFPS / res.BaselineFPS
-	res.FastpathRatio = float64(fast) / float64(len(flights))
-	logf("triage: %.2f flights/sec (p99 %.3fs/flight, %.0f%% fast-path, %.2fx)",
-		res.TriageFPS, res.P99FlightSeconds, 100*res.FastpathRatio, res.Speedup)
+	res.Float32BaselineFPS, res.Float32BaselineP99FlightSeconds, _, err = measure(an32.WithoutTriage())
+	if err != nil {
+		return res, err
+	}
+	res.Float32Speedup = res.Float32BaselineFPS / res.BaselineFPS
+	logf("float32 baseline: %.2f flights/sec (p99 %.3fs/flight, %.2fx vs float64)",
+		res.Float32BaselineFPS, res.Float32BaselineP99FlightSeconds, res.Float32Speedup)
+	if withTriage {
+		res.Float32TriageFPS, res.Float32P99FlightSeconds, _, err = measure(an32)
+		if err != nil {
+			return res, err
+		}
+		logf("float32 triage: %.2f flights/sec (p99 %.3fs/flight)",
+			res.Float32TriageFPS, res.Float32P99FlightSeconds)
+	}
 	return res, nil
 }

@@ -73,6 +73,15 @@ type BenchThroughput struct {
 	// Per-flight p99 latencies (seconds) of the two paths.
 	BaselineP99FlightSeconds float64 `json:"baseline_p99_flight_seconds"`
 	P99FlightSeconds         float64 `json:"p99_flight_seconds"`
+	// Float32 rows repeat the measurements under the float32 fast path
+	// (additive in schema v1; absent, and zero, in older artifacts).
+	// Float32Speedup is float32-baseline over float64-baseline — the
+	// precision win the bench gate holds above its committed floor.
+	Float32BaselineFPS              float64 `json:"float32_baseline_flights_per_sec,omitempty"`
+	Float32TriageFPS                float64 `json:"float32_triage_flights_per_sec,omitempty"`
+	Float32Speedup                  float64 `json:"float32_speedup,omitempty"`
+	Float32BaselineP99FlightSeconds float64 `json:"float32_baseline_p99_flight_seconds,omitempty"`
+	Float32P99FlightSeconds         float64 `json:"float32_p99_flight_seconds,omitempty"`
 }
 
 // FPS returns the report's operative flights/sec: the triage-path
@@ -226,6 +235,12 @@ func (r *BenchReport) Validate() error {
 			return fmt.Errorf("obs: throughput baseline p99 %g must be positive", t.BaselineP99FlightSeconds)
 		case t.TriageFPS > 0 && t.P99FlightSeconds <= 0:
 			return fmt.Errorf("obs: throughput triage p99 %g must be positive", t.P99FlightSeconds)
+		case t.Float32BaselineFPS < 0 || t.Float32TriageFPS < 0 || t.Float32Speedup < 0:
+			return fmt.Errorf("obs: throughput float32 numbers are negative")
+		case t.Float32BaselineFPS > 0 && t.Float32BaselineP99FlightSeconds <= 0:
+			return fmt.Errorf("obs: throughput float32 baseline p99 %g must be positive", t.Float32BaselineP99FlightSeconds)
+		case t.Float32BaselineFPS > 0 && t.Float32Speedup <= 0:
+			return fmt.Errorf("obs: throughput float32 row is missing its speedup")
 		}
 	}
 	return nil
@@ -252,6 +267,36 @@ func CompareBenchReports(oldR, newR *BenchReport, tolerance float64) error {
 	if newP99 > oldP99*(1+tolerance) {
 		return fmt.Errorf("obs: p99 per-flight latency regressed: %.3fs vs baseline %.3fs (+%.1f%%, tolerance %.0f%%)",
 			newP99, oldP99, 100*(newP99/oldP99-1), 100*tolerance)
+	}
+	// The float32 rows gate like-for-like once both artifacts carry them;
+	// against an older float64-only baseline the floor check below is the
+	// only float32 gate.
+	oldF32, newF32 := oldR.Throughput.Float32BaselineFPS, newR.Throughput.Float32BaselineFPS
+	if oldF32 > 0 && newF32 > 0 && newF32 < oldF32*(1-tolerance) {
+		return fmt.Errorf("obs: float32 throughput regressed: %.2f flights/sec vs baseline %.2f (-%.1f%%, tolerance %.0f%%)",
+			newF32, oldF32, 100*(1-newF32/oldF32), 100*tolerance)
+	}
+	return nil
+}
+
+// CheckFloat32Speedup enforces the committed floor on the float32
+// precision win: the report must carry float32 rows and their speedup
+// over the float64 baseline must not fall below minSpeedup. A floor of
+// 0 disables the check (for gating artifacts predating the rows).
+func CheckFloat32Speedup(r *BenchReport, minSpeedup float64) error {
+	if minSpeedup <= 0 {
+		return nil
+	}
+	if r.Throughput == nil {
+		return fmt.Errorf("obs: report has no throughput section to check the float32 speedup in")
+	}
+	t := r.Throughput
+	if t.Float32BaselineFPS <= 0 {
+		return fmt.Errorf("obs: report has no float32 throughput rows (speedup floor %.2fx is enforced)", minSpeedup)
+	}
+	if t.Float32Speedup < minSpeedup {
+		return fmt.Errorf("obs: float32 speedup %.2fx fell below the committed floor %.2fx (%.2f vs %.2f flights/sec)",
+			t.Float32Speedup, minSpeedup, t.Float32BaselineFPS, t.BaselineFPS)
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"soundboost/api"
+	soundboost "soundboost/internal/core"
 	"soundboost/internal/faults"
 	"soundboost/internal/journal"
 	"soundboost/internal/mavbus"
@@ -137,6 +138,9 @@ func (s *Server) recoverSession(rec journal.Recovered) error {
 	}
 	if meta.Req.GapFill {
 		opts = append(opts, stream.WithGapFill(true))
+	}
+	if meta.Req.Precision != "" {
+		opts = append(opts, stream.WithPrecision(soundboost.Precision(meta.Req.Precision)))
 	}
 	eng, err := stream.New(s.an, meta.Req.SampleRateHz, opts...)
 	if err != nil {

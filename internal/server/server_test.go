@@ -330,6 +330,45 @@ func TestSessionMatchesBatch(t *testing.T) {
 	}
 }
 
+// TestSessionPrecision opens a float32 session, verifies the served
+// report records the mode it ran under (with its documented tolerance)
+// and still reaches the float64 batch verdict, and checks an unknown
+// precision is rejected with 422 at session open.
+func TestSessionPrecision(t *testing.T) {
+	fx := getFixture(t)
+	s := newTestServer(t, Config{})
+	f := fx.calib[0]
+
+	errCode(t, do(t, s, "POST", "/v1/sessions", api.SessionRequest{
+		SampleRateHz: f.Audio.SampleRate,
+		Precision:    "float16",
+	}), http.StatusUnprocessableEntity, api.CodeUnprocessable)
+
+	created := decode[api.SessionResponse](t, do(t, s, "POST", "/v1/sessions", api.SessionRequest{
+		Flight:       f.Name,
+		SampleRateHz: f.Audio.SampleRate,
+		Buffer:       1 << 15,
+		Precision:    string(soundboost.Float32),
+	}), http.StatusCreated)
+	report, err := feedSession(s, "/v1/sessions/"+created.ID, f, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Precision != string(soundboost.Float32) {
+		t.Errorf("report precision = %q, want %q", report.Precision, soundboost.Float32)
+	}
+	if report.Tolerance != soundboost.Float32Tolerance {
+		t.Errorf("report tolerance = %g, want %g", report.Tolerance, soundboost.Float32Tolerance)
+	}
+	batch, err := fx.analyzer.Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Cause != string(batch.Cause) {
+		t.Errorf("float32 session cause = %q, float64 batch cause = %q", report.Cause, batch.Cause)
+	}
+}
+
 // TestConcurrentSessionsBackpressure fills the session table with live
 // streams and verifies (a) an over-cap create sheds with 429 +
 // Retry-After instead of blocking, (b) all capped sessions still finish

@@ -283,6 +283,10 @@ func (s *Server) createSession(req api.SessionRequest) (*session, error) {
 	if req.GapFill {
 		opts = append(opts, stream.WithGapFill(true))
 	}
+	if req.Precision != "" {
+		// Engine construction below validates the mode (422 on unknown).
+		opts = append(opts, stream.WithPrecision(soundboost.Precision(req.Precision)))
+	}
 
 	s.mu.Lock()
 	if s.draining {

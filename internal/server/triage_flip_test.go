@@ -62,14 +62,15 @@ func triageTestAnalyzer(t *testing.T) (*soundboost.Analyzer, []*dataset.Flight) 
 
 // replayStream drives a flight through a live stream engine over a
 // lossless bus and returns the streaming report.
-func replayStream(t *testing.T, an *soundboost.Analyzer, f *dataset.Flight, disableTriage bool) soundboost.Report {
+func replayStream(t *testing.T, an *soundboost.Analyzer, f *dataset.Flight, disableTriage bool, extra ...stream.Option) soundboost.Report {
 	t.Helper()
 	bus := mavbus.NewBus(0)
-	eng, err := stream.New(an, f.Audio.SampleRate,
-		stream.WithBuffer(1<<15),
+	opts := append([]stream.Option{
+		stream.WithBuffer(1 << 15),
 		stream.WithFlightName(f.Name),
 		stream.WithTriageDisabled(disableTriage),
-	)
+	}, extra...)
+	eng, err := stream.New(an, f.Audio.SampleRate, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}

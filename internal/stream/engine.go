@@ -70,7 +70,7 @@ type Status struct {
 //
 // Typical use:
 //
-//	eng, _ := stream.NewEngine(analyzer, rate, stream.Config{})
+//	eng, _ := stream.New(analyzer, rate)
 //	eng.Attach(bus)
 //	go func() { stream.Replay(ctx, bus, flight, rcfg); bus.Close() }()
 //	report, err := eng.Run(ctx)
@@ -153,18 +153,16 @@ func New(an *soundboost.Analyzer, sampleRate float64, opts ...Option) (*Engine, 
 	return newEngine(an, sampleRate, cfg)
 }
 
-// NewEngine builds an engine from a literal Config.
-//
-// Deprecated: use New with functional options (WithBuffer,
-// WithLagHorizon, WithTopics, WithGapFill, WithFlightName). NewEngine
-// remains as a thin wrapper so existing call sites keep compiling.
-func NewEngine(an *soundboost.Analyzer, sampleRate float64, cfg Config) (*Engine, error) {
-	return newEngine(an, sampleRate, cfg)
-}
-
 func newEngine(an *soundboost.Analyzer, sampleRate float64, cfg Config) (*Engine, error) {
 	if an == nil || an.Model == nil || an.IMU == nil || an.GPSAudioOnly == nil || an.GPSAudioIMU == nil {
 		return nil, fmt.Errorf("stream: nil or incomplete analyzer")
+	}
+	if cfg.Precision != "" {
+		var err error
+		an, err = an.WithPrecision(cfg.Precision)
+		if err != nil {
+			return nil, fmt.Errorf("stream: %w", err)
+		}
 	}
 	if an.IMU.Config().Stream != 0 {
 		return nil, fmt.Errorf("stream: only the primary IMU stream (0) is supported online, analyzer uses stream %d", an.IMU.Config().Stream)
@@ -614,7 +612,11 @@ func (e *Engine) screenWindow(t0 float64, start, total int) bool {
 		gps[i] = triage.GPSPoint{Time: s.Time, Pos: s.Pos, Vel: s.Vel}
 	}
 	off := start - e.base
-	feat := e.tri.Config().Features.Features(e.buf[0][off:off+total], e.rate, imu, gps)
+	features := e.tri.Config().Features.Features
+	if e.sig.Precision == soundboost.Float32 {
+		features = e.tri.Config().Features.Features32
+	}
+	feat := features(e.buf[0][off:off+total], e.rate, imu, gps)
 	return e.tri.Classify(feat).Benign
 }
 
@@ -850,10 +852,11 @@ func (e *Engine) finalize() (soundboost.Report, error) {
 		e.err = gpsErr
 	}
 	report := soundboost.Report{
-		Flight:  e.cfg.FlightName,
-		IMU:     imuV,
-		GPS:     gpsV,
-		GPSMode: mode,
+		Flight:    e.cfg.FlightName,
+		IMU:       imuV,
+		GPS:       gpsV,
+		GPSMode:   mode,
+		Precision: e.an.Precision(),
 	}
 	switch {
 	case imuV.Attacked && gpsV.Attacked:

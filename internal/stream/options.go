@@ -1,5 +1,7 @@
 package stream
 
+import soundboost "soundboost/internal/core"
+
 // Option configures the streaming engine built by New. Options are
 // applied in order over the zero Config, so later options win and the
 // documented Config defaults fill whatever no option sets.
@@ -45,4 +47,13 @@ func WithFlightName(name string) Option {
 // the analyzer carries a screening tier (the -no-triage escape hatch).
 func WithTriageDisabled(disabled bool) Option {
 	return func(c *Config) { c.DisableTriage = disabled }
+}
+
+// WithPrecision runs the stream's signature/inference hot path under the
+// given precision: New derives a threshold-preserving precision clone of
+// the analyzer (Analyzer.WithPrecision), so verdict thresholds are
+// unchanged and the report records the mode it ran under. The zero value
+// keeps the analyzer's own configured mode.
+func WithPrecision(p soundboost.Precision) Option {
+	return func(c *Config) { c.Precision = p }
 }

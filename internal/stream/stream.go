@@ -21,6 +21,7 @@
 package stream
 
 import (
+	soundboost "soundboost/internal/core"
 	"soundboost/internal/mathx"
 	"soundboost/internal/obs"
 )
@@ -96,6 +97,12 @@ type Config struct {
 	DisableTriage bool
 	// FlightName labels the produced report.
 	FlightName string
+	// Precision overrides the arithmetic of the signature/inference hot
+	// path for this stream: the engine derives a threshold-preserving
+	// precision clone of the analyzer (Analyzer.WithPrecision) before
+	// processing. The zero value keeps the analyzer's own mode —
+	// Float64 unless the model opted in.
+	Precision soundboost.Precision
 }
 
 func (c Config) withDefaults() Config {

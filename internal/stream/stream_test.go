@@ -138,7 +138,7 @@ func gpsAttackFlight(t *testing.T, seed int64) *dataset.Flight {
 func runStream(t *testing.T, an *soundboost.Analyzer, f *dataset.Flight, rcfg ReplayConfig) (soundboost.Report, *Engine) {
 	t.Helper()
 	bus := mavbus.NewBus(0)
-	eng, err := NewEngine(an, f.Audio.SampleRate, Config{Buffer: 1 << 15, FlightName: f.Name})
+	eng, err := New(an, f.Audio.SampleRate, WithBuffer(1<<15), WithFlightName(f.Name))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +259,7 @@ func TestStreamAudioDropoutSkipsWindows(t *testing.T) {
 func TestStreamDegradedTelemetry(t *testing.T) {
 	fx := getFixture(t)
 	bus := mavbus.NewBus(0)
-	eng, err := NewEngine(fx.analyzer, 4000, Config{Buffer: 64})
+	eng, err := New(fx.analyzer, 4000, WithBuffer(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +309,7 @@ func TestStreamDegradedTelemetry(t *testing.T) {
 func TestStreamContextCancel(t *testing.T) {
 	fx := getFixture(t)
 	bus := mavbus.NewBus(0)
-	eng, err := NewEngine(fx.analyzer, 4000, Config{})
+	eng, err := New(fx.analyzer, 4000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,16 +326,19 @@ func TestStreamContextCancel(t *testing.T) {
 
 func TestNewEngineValidation(t *testing.T) {
 	fx := getFixture(t)
-	if _, err := NewEngine(nil, 4000, Config{}); err == nil {
+	if _, err := New(nil, 4000); err == nil {
 		t.Error("nil analyzer accepted")
 	}
-	if _, err := NewEngine(fx.analyzer, 0, Config{}); err == nil {
+	if _, err := New(fx.analyzer, 0); err == nil {
 		t.Error("zero sample rate accepted")
 	}
-	if _, err := NewEngine(fx.analyzer, 4000, Config{}); err != nil {
+	if _, err := New(fx.analyzer, 4000); err != nil {
 		t.Errorf("valid engine rejected: %v", err)
 	}
-	eng, _ := NewEngine(fx.analyzer, 4000, Config{})
+	if _, err := New(fx.analyzer, 4000, WithPrecision("float16")); err == nil {
+		t.Error("unknown precision accepted")
+	}
+	eng, _ := New(fx.analyzer, 4000)
 	if _, err := eng.Run(context.Background()); err == nil {
 		t.Error("Run without Attach accepted")
 	}

@@ -162,8 +162,124 @@ func (c FeatureConfig) Features(audio []float64, rate float64, imu []IMUPoint, g
 
 	out = append(out, centroid, rolloff/nyquist, flatness, zcr, math.Log1p(rms), snr)
 
-	// --- Telemetry cross-checks: the features that can see attacks the
-	// microphones cannot (spoofed rows never touch the audio channel).
+	out = appendTelemetryFeatures(out, imu, gps)
+
+	for _, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil
+		}
+	}
+	return out
+}
+
+// Features32 is the float32 spectral variant of Features: same feature
+// layout, same telemetry cross-checks (float64, bit-identical to
+// Features), but the window transform runs through the real-input
+// float32 FFT and the band energies are accumulated in float32. The
+// scalar features derived from the spectrum track Features within the
+// documented per-feature tolerance of the float32 path; callers opt in
+// via the signature precision, never by default.
+func (c FeatureConfig) Features32(audio []float64, rate float64, imu []IMUPoint, gps []GPSPoint) []float64 {
+	c = c.withDefaults()
+	n := len(audio)
+	if n < 16 || rate <= 0 || len(c.Bands) == 0 || len(imu) == 0 {
+		return nil
+	}
+	out := make([]float64, 0, c.Dim())
+
+	// --- One real-input float32 FFT over the whole window. The validity
+	// scan, RMS and ZCR stay in float64 so the escalation predicate and
+	// the two broadband time-domain features match Features bit for bit.
+	nfft := dsp.NextPow2(n)
+	plan := dsp.PlanFFT32(nfft)
+	re := dsp.AcquireFloats32(nfft)
+	defer dsp.ReleaseFloats32(re)
+	spec := dsp.AcquireComplex64(plan.SpectrumLen())
+	defer dsp.ReleaseComplex64(spec)
+	win := dsp.CachedHann32(n)
+	var rms float64
+	zc := 0
+	prev := audio[0]
+	for i := 0; i < n; i++ {
+		v := audio[i]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil
+		}
+		// re[n:] stays zero: the arena hands buffers out zeroed.
+		re[i] = float32(v) * win[i]
+		rms += v * v
+		if (v > 0 && prev < 0) || (v < 0 && prev > 0) {
+			zc++
+		}
+		if v != 0 {
+			prev = v
+		}
+	}
+	rms = math.Sqrt(rms / float64(n))
+	spec = plan.ForwardReal(re, spec)
+
+	// Band energies, normalised like the signature kernel.
+	invSqrtN := 1 / math.Sqrt(float64(nfft))
+	inBand := 0.0
+	for _, band := range c.Bands {
+		e := dsp.BandPower32(spec, nfft, rate, band) * invSqrtN
+		out = append(out, math.Log1p(e))
+		inBand += e * e
+	}
+
+	// Broadband shape over the half spectrum (DC excluded). Per-bin
+	// powers come straight off the float32 components — no square roots
+	// — and accumulate in float64 like the exact path.
+	nyquist := rate / 2
+	var totalPow, weighted, logSum float64
+	for k := 1; k < len(spec); k++ {
+		zr, zi := real(spec[k]), imag(spec[k])
+		p := float64(zr*zr + zi*zi)
+		totalPow += p
+		weighted += p * dsp.BinFrequency(k, nfft, rate)
+		logSum += math.Log(p + 1e-20)
+	}
+	if totalPow <= 0 {
+		return nil
+	}
+	centroid := weighted / totalPow / nyquist
+	target := c.RolloffFraction * totalPow
+	rolloff := nyquist
+	cum := 0.0
+	for k := 1; k < len(spec); k++ {
+		zr, zi := real(spec[k]), imag(spec[k])
+		cum += float64(zr*zr + zi*zi)
+		if cum >= target {
+			rolloff = dsp.BinFrequency(k, nfft, rate)
+			break
+		}
+	}
+	bins := float64(len(spec) - 1)
+	flatness := math.Exp(logSum/bins) / (totalPow / bins)
+	zcr := float64(zc) / float64(n)
+
+	outBand := totalPow/float64(nfft) - inBand
+	if outBand < 1e-20 {
+		outBand = 1e-20
+	}
+	snr := 10 * math.Log10((inBand+1e-20)/outBand)
+
+	out = append(out, centroid, rolloff/nyquist, flatness, zcr, math.Log1p(rms), snr)
+	out = appendTelemetryFeatures(out, imu, gps)
+
+	for _, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil
+		}
+	}
+	return out
+}
+
+// appendTelemetryFeatures appends the four telemetry cross-checks — the
+// features that can see attacks the microphones cannot (spoofed rows
+// never touch the audio channel). Shared verbatim by Features and
+// Features32 so the two precisions agree bit for bit on them.
+func appendTelemetryFeatures(out []float64, imu []IMUPoint, gps []GPSPoint) []float64 {
 	var accMean, gyroMean float64
 	accMags := make([]float64, len(imu))
 	for i, p := range imu {
@@ -201,14 +317,7 @@ func (c FeatureConfig) Features(audio []float64, rate float64, imu []IMUPoint, g
 			posVelGap = derived.Sub(velSum.Scale(1 / float64(len(gps)))).Norm()
 		}
 	}
-	out = append(out, accStd, gyroMean, velJump, posVelGap)
-
-	for _, v := range out {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil
-		}
-	}
-	return out
+	return append(out, accStd, gyroMean, velJump, posVelGap)
 }
 
 // Config tunes training and classification.

@@ -1,26 +1,32 @@
 #!/bin/sh
-# bench_gate.sh — the CI perf-regression gate for the triage fast path.
+# bench_gate.sh — the CI perf-regression gate for the triage fast path
+# and the float32 precision fast path.
 #
 # Runs a fresh instrumented throughput bench (benchtab -run throughput),
 # then compares it against the newest committed BENCH_<n>.json baseline
-# with `benchtab -compare OLD NEW -max-regress <tol>`: the gate fails
-# when flights/sec drops, or p99 per-flight latency rises, by more than
-# the tolerance (default 15%).
+# with `benchtab -compare OLD NEW -max-regress <tol> -min-f32-speedup
+# <floor>`: the gate fails when flights/sec drops, or p99 per-flight
+# latency rises, by more than the tolerance (default 15%), or when the
+# fresh report's float32 speedup over its own float64 baseline falls
+# below the committed floor (default 1.3x).
 #
 # Before trusting its own pass verdict, the script self-tests the gate
-# on an injected synthetic regression — the fresh report with halved
-# throughput and doubled p99 — which MUST fail the comparison. A gate
-# that cannot reject a 2x slowdown is broken, and that brokenness should
-# fail CI louder than any real regression.
+# on two injected synthetic failures — the fresh report with halved
+# throughput and doubled p99, and the fresh report with a sub-floor
+# float32 speedup — both of which MUST fail the comparison. A gate that
+# cannot reject a 2x slowdown or a collapsed precision win is broken,
+# and that brokenness should fail CI louder than any real regression.
 #
 # Environment:
 #   MAX_REGRESS       tolerance for -max-regress (default 15%)
+#   MIN_F32_SPEEDUP   floor for -min-f32-speedup (default 1.3; 0 disables)
 #   BENCH_GATE_SCALE  experiment scale for the fresh run (default bench)
 set -eu
 
 cd "$(dirname "$0")/.."
 
 MAX_REGRESS="${MAX_REGRESS:-15%}"
+MIN_F32_SPEEDUP="${MIN_F32_SPEEDUP:-1.3}"
 SCALE="${BENCH_GATE_SCALE:-bench}"
 
 # Newest committed baseline: the highest BENCH_<n>.json, starting at the
@@ -35,16 +41,17 @@ if [ -z "$baseline" ]; then
     echo "bench_gate: no committed BENCH_<n>.json baseline (run make bench-json)" >&2
     exit 1
 fi
-echo "bench_gate: baseline $baseline, tolerance $MAX_REGRESS, scale $SCALE"
+echo "bench_gate: baseline $baseline, tolerance $MAX_REGRESS, float32 floor ${MIN_F32_SPEEDUP}x, scale $SCALE"
 
 fresh="${TMPDIR:-/tmp}/bench_gate_$$.json"
 doctored="$fresh.regressed"
-trap 'rm -f "$fresh" "$doctored"' EXIT
+doctored_f32="$fresh.f32"
+trap 'rm -f "$fresh" "$doctored" "$doctored_f32"' EXIT
 
 go run ./cmd/benchtab -scale "$SCALE" -run throughput -bench-json "$fresh"
 go run ./cmd/benchtab -validate-bench "$fresh"
 
-# Self-test: inject a synthetic regression and require the gate to fail.
+# Self-test 1: inject a synthetic regression and require the gate to fail.
 python3 - "$fresh" "$doctored" <<'EOF'
 import json, sys
 
@@ -64,5 +71,24 @@ if go run ./cmd/benchtab -compare "$baseline" "$doctored" -max-regress "$MAX_REG
 fi
 echo "bench_gate: self-test ok (injected 2x slowdown rejected)"
 
-go run ./cmd/benchtab -compare "$baseline" "$fresh" -max-regress "$MAX_REGRESS"
+# Self-test 2: collapse the float32 speedup below any sane floor and
+# require the speedup gate to fail.
+if [ "$MIN_F32_SPEEDUP" != "0" ]; then
+    python3 - "$fresh" "$doctored_f32" <<'EOF'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+tp = report["throughput"]
+tp["float32_baseline_flights_per_sec"] = tp["baseline_flights_per_sec"]
+tp["float32_speedup"] = 1.0
+json.dump(report, open(sys.argv[2], "w"))
+EOF
+    if go run ./cmd/benchtab -compare "$baseline" "$doctored_f32" -max-regress "$MAX_REGRESS" -min-f32-speedup "$MIN_F32_SPEEDUP" >/dev/null 2>&1; then
+        echo "bench_gate: SELF-TEST FAILED: a collapsed float32 speedup passed the gate" >&2
+        exit 1
+    fi
+    echo "bench_gate: self-test ok (collapsed float32 speedup rejected)"
+fi
+
+go run ./cmd/benchtab -compare "$baseline" "$fresh" -max-regress "$MAX_REGRESS" -min-f32-speedup "$MIN_F32_SPEEDUP"
 echo "bench_gate: OK"
