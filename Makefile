@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-gate cover verify verify-short staticcheck fmt live-smoke serve-smoke chaos-smoke sweep-smoke fleet-smoke
+.PHONY: build test race bench bench-json bench-gate cover verify verify-short staticcheck fmt live-smoke serve-smoke chaos-smoke sweep-smoke fleet-smoke ha-smoke
 
 build:
 	$(GO) build ./...
@@ -91,6 +91,18 @@ sweep-smoke:
 # FLEET_BUILDFLAGS=-race builds every binary under the race detector.
 fleet-smoke:
 	sh scripts/fleet_smoke.sh
+
+# ha-smoke exercises fleet high availability end to end: three journaled
+# replicas with journal replication behind a primary gateway (routing
+# state checkpointed) plus a warm standby on the same address. Mid-upload
+# the owning replica is SIGKILLed AND its journal directory wiped (the
+# follower copy must carry the session), then the primary gateway is
+# SIGKILLed (the standby must take over from the lease + checkpoint) —
+# and the verdict must stay byte-identical to the single-node run
+# (scripts/ha_smoke.sh). FLEET_BUILDFLAGS=-race builds every binary
+# under the race detector.
+ha-smoke:
+	sh scripts/ha_smoke.sh
 
 fmt:
 	gofmt -w .

@@ -295,6 +295,42 @@ type SessionStatus struct {
 	Engine    EngineStatus `json:"engine"`
 }
 
+// JournalAppend is the POST /v1/sessions/{id}/journal/append body — the
+// fleet replication stream. The gateway forwards every chunk an owner
+// replica acknowledges to R−1 follower replicas as one append each; the
+// follower fsyncs the chunk into its follower journal BEFORE answering,
+// so the copy survives the follower's own crash. The {id} in the path is
+// the replication key (the gateway's session id), which is unique across
+// the fleet and never collides with the follower's own session table.
+type JournalAppend struct {
+	SchemaVersion string `json:"schema_version"`
+	// Seq is the append's 1-based position in the session's replication
+	// stream — the index of Chunk within the owner's journal, independent
+	// of Chunk.Seq (which clients may omit). An append at or below the
+	// follower's high-water mark is absorbed as a duplicate; one that
+	// skips ahead is rejected with 409 so the gateway knows to reseed the
+	// follower from a full export.
+	Seq int `json:"seq"`
+	// Request is the session's original open request, repeated on every
+	// append so a follower can (re)create the copy statelessly.
+	Request SessionRequest `json:"request"`
+	// Chunk is the acknowledged FramesRequest being replicated, verbatim.
+	Chunk FramesRequest `json:"chunk"`
+}
+
+// JournalAppendResponse is the POST /v1/sessions/{id}/journal/append
+// response.
+type JournalAppendResponse struct {
+	SchemaVersion string `json:"schema_version"`
+	ID            string `json:"id"`
+	// LastSeq is the highest replication index durably held after this
+	// append (fsynced — the gateway's lag accounting trusts it).
+	LastSeq int `json:"last_seq"`
+	// Duplicate reports that the append's Seq was already held and
+	// nothing was re-written.
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
 // SessionJournal is the GET /v1/sessions/{id}/journal response: the
 // session's durable write-ahead log — its original SessionRequest plus
 // every acknowledged chunk, in acceptance order — packaged as one

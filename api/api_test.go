@@ -249,6 +249,17 @@ func schemaSamples() map[string]any {
 		},
 		"FramesResponse": FramesResponse{SchemaVersion: Version, Accepted: 42, Shed: 1, State: SessionDone},
 		"SessionStatus":  status,
+		"JournalAppend": JournalAppend{
+			SchemaVersion: Version,
+			Seq:           3,
+			Request:       SessionRequest{Flight: "incident-17", SampleRateHz: 4000},
+			Chunk:         FramesRequest{Seq: 3, IMU: []IMUSample{{TimeSeconds: 0.75}}},
+		},
+		"JournalAppendResponse": JournalAppendResponse{
+			SchemaVersion: Version,
+			ID:            "g-00000001",
+			LastSeq:       3,
+		},
 		"SessionJournal": SessionJournal{
 			SchemaVersion: Version,
 			ID:            "s-0001",

@@ -62,6 +62,14 @@ func runGateway(args []string) error {
 		retryBase = fs.Duration("retry-base", 0, "base retry backoff (0 = default 100ms)")
 		seed      = fs.Int64("seed", 1, "retry-jitter seed")
 		drainWait = fs.Duration("drain", 60*time.Second, "graceful-drain budget on shutdown")
+
+		replication = fs.Int("replication", 0, "durable journal copies per session, owner included (0 = default 2; 1 disables replication)")
+		statePath   = fs.String("state", "", "routing-state checkpoint file; enables gateway HA (lease file lands beside it)")
+		standby     = fs.Bool("standby", false, "run as warm standby: wait for the primary's lease on -state to go stale, then take over")
+		leaseIvl    = fs.Duration("lease-interval", 0, "primary lease renew cadence (0 = default 250ms)")
+		leaseTTL    = fs.Duration("lease-ttl", 0, "stale-lease threshold before a standby takes over (0 = default 8x lease-interval)")
+		rebLimit    = fs.Int("rebalance-limit", 0, "max sessions drained back per replica rejoin (0 = default 32)")
+		rebPace     = fs.Duration("rebalance-pace", 0, "pause between rejoin-rebalance moves (0 = default 10ms)")
 	)
 	var replicas replicaList
 	fs.Var(&replicas, "replica", "replica as name=url[=journal-dir]; repeat per replica")
@@ -75,25 +83,66 @@ func runGateway(args []string) error {
 	if len(replicas.reps) == 0 {
 		return fmt.Errorf("at least one -replica name=url[=journal-dir] is required")
 	}
+	if *standby && *statePath == "" {
+		return fmt.Errorf("-standby requires -state (the checkpoint to take over from)")
+	}
 
-	g, err := fleet.New(fleet.Config{
-		Replicas:      replicas.reps,
-		VNodes:        *vnodes,
-		ProbeInterval: *probe,
-		DownAfter:     *downAfter,
-		UpAfter:       *upAfter,
-		Retries:       *retries,
-		RetryBase:     *retryBase,
-		Seed:          *seed,
-		Logf:          func(format string, a ...any) { fmt.Printf(format+"\n", a...) },
-	})
-	if err != nil {
+	cfg := fleet.Config{
+		Replicas:       replicas.reps,
+		VNodes:         *vnodes,
+		ProbeInterval:  *probe,
+		DownAfter:      *downAfter,
+		UpAfter:        *upAfter,
+		Retries:        *retries,
+		RetryBase:      *retryBase,
+		Seed:           *seed,
+		Replication:    *replication,
+		StatePath:      *statePath,
+		LeaseInterval:  *leaseIvl,
+		LeaseTTL:       *leaseTTL,
+		RebalanceLimit: *rebLimit,
+		RebalancePace:  *rebPace,
+		Logf:           func(format string, a ...any) { fmt.Printf(format+"\n", a...) },
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var g *fleet.Gateway
+	var err error
+	if *standby {
+		sb, err := fleet.NewStandby(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("standby gateway watching lease at %s.lease\n", *statePath)
+		if err := sb.WaitLease(ctx); err != nil {
+			// Signal while waiting: a standby that was never needed
+			// exits clean.
+			fmt.Println("standby: signal received while waiting; bye")
+			return nil
+		}
+		if g, err = sb.Takeover(); err != nil {
+			return err
+		}
+		fmt.Println("lease stale; standby promoted to primary")
+	} else if g, err = fleet.New(cfg); err != nil {
 		return err
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
+	// A promoted standby binds the address its dead primary held; the
+	// kernel may not have released it the instant the primary died, so
+	// retry the bind briefly instead of failing the takeover.
+	var ln net.Listener
+	for i := 0; ; i++ {
+		ln, err = net.Listen("tcp", *addr)
+		if err == nil {
+			break
+		}
+		if !*standby || i >= 100 {
+			return err
+		}
+		time.Sleep(100 * time.Millisecond)
 	}
 	httpSrv := &http.Server{Handler: g}
 	fmt.Printf("fleet gateway on http://%s routing %d replica(s)\n", ln.Addr(), len(replicas.reps))
@@ -101,8 +150,6 @@ func runGateway(args []string) error {
 		fmt.Printf("  %s -> %s\n", r.Name, r.BaseURL)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 	select {

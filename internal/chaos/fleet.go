@@ -3,6 +3,7 @@ package chaos
 import (
 	"fmt"
 	"net/http"
+	"os"
 	"sync"
 
 	"soundboost/internal/obs"
@@ -18,10 +19,17 @@ const (
 	// keeps running. Heals without a restart — the asymmetric cousin of
 	// a kill.
 	KindPartition Kind = "partition"
+	// KindJournalWipe records a replica's journal directory destroyed —
+	// the disk-loss fault. Combined with KindReplicaKill, follower copies
+	// are the only surviving source of the replica's sessions.
+	KindJournalWipe Kind = "journal_wipe"
+	// KindGatewayKill records the gateway process itself killed without
+	// drain — the fault a warm standby's lease watch recovers from.
+	KindGatewayKill Kind = "gateway_kill"
 )
 
 // FleetKinds lists the fleet-plane fault kinds in stable order.
-var FleetKinds = []Kind{KindReplicaKill, KindPartition}
+var FleetKinds = []Kind{KindReplicaKill, KindPartition, KindJournalWipe, KindGatewayKill}
 
 // fleetKindCounter resolves the registry counter for one fleet fault
 // kind, matching the chaos.injected.<kind> convention of the other
@@ -57,6 +65,29 @@ func (f *Fleet) Kill(name string, stop func()) {
 	f.counts[KindReplicaKill]++
 	f.mu.Unlock()
 	fleetKindCounter(KindReplicaKill).Inc()
+	if stop != nil {
+		stop()
+	}
+}
+
+// Wipe destroys a replica's journal directory and records the fault —
+// the disk is gone, not just the process. Errors from the removal are
+// returned so tests can distinguish "wiped" from "was already gone".
+func (f *Fleet) Wipe(name, dir string) error {
+	f.mu.Lock()
+	f.counts[KindJournalWipe]++
+	f.mu.Unlock()
+	fleetKindCounter(KindJournalWipe).Inc()
+	return os.RemoveAll(dir)
+}
+
+// KillGateway terminates the gateway through its stop function and
+// records the fault. Like Kill, the stop runs under no lock.
+func (f *Fleet) KillGateway(stop func()) {
+	f.mu.Lock()
+	f.counts[KindGatewayKill]++
+	f.mu.Unlock()
+	fleetKindCounter(KindGatewayKill).Inc()
 	if stop != nil {
 		stop()
 	}

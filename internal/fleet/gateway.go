@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -55,6 +56,28 @@ type Config struct {
 	// Transport overrides the forwarding/probe transport (chaos partition
 	// injection in tests; nil = http.DefaultTransport).
 	Transport http.RoundTripper
+	// Replication is the total number of durable journal copies per
+	// session, the serving owner included (default 2: owner plus one
+	// follower; 1 disables replication). See replication.go.
+	Replication int
+	// StatePath, when set, enables gateway high availability: routing
+	// state is checkpointed to this file on every placement change, a
+	// lease file beside it is renewed every LeaseInterval, and a warm
+	// standby (NewStandby) can take over from the checkpoint when the
+	// lease goes stale. A restarted primary recovers from its own
+	// checkpoint the same way.
+	StatePath string
+	// LeaseInterval is the primary's lease renew cadence (default 250ms);
+	// LeaseTTL is how long a standby waits without a renewal before
+	// taking over (default 8× LeaseInterval). TTL must comfortably exceed
+	// the interval or a slow disk causes a false takeover.
+	LeaseInterval time.Duration
+	LeaseTTL      time.Duration
+	// RebalanceLimit caps sessions drained back per rejoin event
+	// (default 32); RebalancePace is the pause between moves (default
+	// 10ms). Together they bound how hard a recovering replica is hit.
+	RebalanceLimit int
+	RebalancePace  time.Duration
 	// Logf receives one line per routing event (default: silent).
 	Logf func(format string, a ...any)
 }
@@ -83,6 +106,21 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 256 << 20
 	}
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
+	if c.LeaseInterval <= 0 {
+		c.LeaseInterval = 250 * time.Millisecond
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 8 * c.LeaseInterval
+	}
+	if c.RebalanceLimit <= 0 {
+		c.RebalanceLimit = 32
+	}
+	if c.RebalancePace <= 0 {
+		c.RebalancePace = 10 * time.Millisecond
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -99,7 +137,26 @@ type route struct {
 	mu        sync.Mutex
 	replica   string
 	backendID string
-	lastSeq   int // highest acknowledged Seq seen through this gateway
+	lastSeq   int // highest acknowledged client Seq seen through this gateway
+
+	// req is the original SessionRequest — what failover replays a
+	// zero-chunk session from, and what replication stamps on every
+	// follower copy so a future owner can rebuild the engine.
+	req api.SessionRequest
+	// followers / repSeq / repAcked / prevLag drive journal replication
+	// (see replication.go): the follower set, the owner-acknowledged
+	// chunk count, each follower's acked high-water mark, and the last
+	// published lag (for the behind gauge's deltas).
+	followers []string
+	repSeq    int
+	repAcked  map[string]int
+	prevLag   int
+	// needReseed schedules a full follower reseed: set after a takeover
+	// (marks died with the old process) or a follower gap 409.
+	needReseed bool
+	// parked marks a restored session no replica could serve at takeover:
+	// requests answer 503 + Retry-After and retry the revive.
+	parked bool
 }
 
 // Gateway re-serves the single-node /v1 surface over a fleet of
@@ -117,23 +174,57 @@ type Gateway struct {
 	ring     *Ring
 	health   *Health
 	client   *httpretry.Client
-	probeHC  *http.Client
-	mux      *http.ServeMux
+	// repClient is the replication append path: a tighter retry budget
+	// than client forwarding, because a follower append runs inside the
+	// client's frames request and replication is best-effort anyway.
+	repClient *httpretry.Client
+	probeHC   *http.Client
+	mux       *http.ServeMux
 
 	mu       sync.Mutex
 	routes   map[string]*route
+	placed   map[string]RouteState // checkpoint mirror (see state.go)
+	epoch    int
 	nextID   int
 	rrFlight int // round-robin cursor for batch flights
 	draining bool
 
-	wg        sync.WaitGroup // in-flight evacuations
-	probeStop chan struct{}
-	probeDone chan struct{}
+	// stateMu serializes checkpoint writers so state-file epochs land in
+	// order. Lock order: stateMu before g.mu; neither is ever taken while
+	// the other side holds a route lock it might wait on.
+	stateMu sync.Mutex
+
+	wg          sync.WaitGroup // in-flight evacuations, rebalances, lease loop
+	probeStop   chan struct{}
+	probeDone   chan struct{}
+	probeCtx    context.Context // cancelled at Shutdown: no probe blocks in dial
+	probeCancel context.CancelFunc
 }
 
-// New builds a gateway over the fleet and starts its health probe loop.
+// New builds a gateway over the fleet, restores any routing-state
+// checkpoint at Config.StatePath (warm-standby takeover and primary
+// restart both land here), and starts its health probe and lease loops.
 // Callers must Shutdown to stop it.
 func New(cfg Config) (*Gateway, error) {
+	g, err := newGateway(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if g.cfg.StatePath != "" {
+		if err := g.restore(); err != nil {
+			// A checkpoint that cannot be parsed must not brick the
+			// gateway: new sessions matter more than a corrupt file.
+			g.logf("state restore failed, starting fresh: %v", err)
+		}
+		g.verifyRestored()
+	}
+	g.start()
+	return g, nil
+}
+
+// newGateway constructs the gateway without starting any goroutine, so
+// restore can verify placements before the first probe or lease tick.
+func newGateway(cfg Config) (*Gateway, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Replicas) == 0 {
 		return nil, fmt.Errorf("fleet: no replicas configured")
@@ -143,9 +234,11 @@ func New(cfg Config) (*Gateway, error) {
 		replicas:  make(map[string]Replica, len(cfg.Replicas)),
 		ring:      NewRing(cfg.VNodes),
 		routes:    make(map[string]*route),
+		placed:    make(map[string]RouteState),
 		probeStop: make(chan struct{}),
 		probeDone: make(chan struct{}),
 	}
+	g.probeCtx, g.probeCancel = context.WithCancel(context.Background())
 	names := make([]string, 0, len(cfg.Replicas))
 	for _, r := range cfg.Replicas {
 		if r.Name == "" || r.BaseURL == "" {
@@ -163,6 +256,12 @@ func New(cfg Config) (*Gateway, error) {
 	hc := &http.Client{Transport: cfg.Transport}
 	g.client = httpretry.New(hc, cfg.Retries, cfg.RetryBase, cfg.Seed)
 	g.client.Logf = cfg.Logf
+	repRetries := 1
+	if cfg.Retries < 1 {
+		repRetries = cfg.Retries
+	}
+	g.repClient = httpretry.New(hc, repRetries, cfg.RetryBase, cfg.Seed+1)
+	g.repClient.Logf = cfg.Logf
 	// Probe timeout is tied to the cadence but floored at 1s: a loaded
 	// replica answering healthz slowly is degraded, not dead, and a
 	// too-tight timeout would flap it down spuriously.
@@ -172,8 +271,19 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	g.probeHC = &http.Client{Transport: cfg.Transport, Timeout: probeTimeout}
 	g.mux = g.routesMux()
-	go g.probeLoop()
 	return g, nil
+}
+
+// start launches the gateway's background loops and, when HA is on,
+// writes the first checkpoint + lease of this process life so a standby
+// sees a live primary immediately.
+func (g *Gateway) start() {
+	go g.probeLoop()
+	if g.cfg.StatePath != "" {
+		g.checkpoint()
+		g.wg.Add(1)
+		go g.leaseLoop()
+	}
 }
 
 func (g *Gateway) logf(format string, a ...any) { g.cfg.Logf(format, a...) }
@@ -200,14 +310,27 @@ func (g *Gateway) routesMux() *http.ServeMux {
 
 // --- health probing ---
 
+// jitteredInterval spreads one probe period ±25% around d using the
+// caller's seeded rng, so N gateways (or one gateway's restarts) don't
+// probe every replica in lockstep.
+func jitteredInterval(rng *rand.Rand, d time.Duration) time.Duration {
+	span := int64(d) / 2
+	if span <= 0 {
+		return d
+	}
+	return d - d/4 + time.Duration(rng.Int63n(span+1))
+}
+
 // probeLoop polls every replica's /v1/healthz on the configured cadence
-// and folds the outcomes through the hysteretic health tracker. A
-// replica that transitions down is removed from the ring (new sessions
-// stop landing on it); one that recovers is re-added — but sessions
-// already migrated away stay with their successor via their pins.
+// (jittered ±25%, seeded by Config.Seed) and folds the outcomes through
+// the hysteretic health tracker. A replica that transitions down is
+// removed from the ring (new sessions stop landing on it) and its
+// sessions evacuate; one that recovers is re-added and rebalance drains
+// its ring-home sessions back (bounded — see rebalance).
 func (g *Gateway) probeLoop() {
 	defer close(g.probeDone)
-	t := time.NewTicker(g.cfg.ProbeInterval)
+	rng := rand.New(rand.NewSource(g.cfg.Seed))
+	t := time.NewTimer(jitteredInterval(rng, g.cfg.ProbeInterval))
 	defer t.Stop()
 	for {
 		select {
@@ -225,13 +348,21 @@ func (g *Gateway) probeLoop() {
 			if up {
 				g.ring.Add(name)
 				g.logf("replica %s up", name)
+				// Drain the rejoined replica's ring-home sessions back to
+				// it, bounded by the rebalance limit and pace.
+				g.wg.Add(1)
+				go func(name string) {
+					defer g.wg.Done()
+					g.rebalance(name)
+				}(name)
 			} else {
 				g.ring.Remove(name)
 				g.logf("replica %s down: %v", name, err)
 				// Evacuate proactively: sessions on a draining replica
 				// migrate while it can still serve journal exports; a dead
 				// replica's sessions migrate from its journal directory
-				// without waiting for client traffic to trip over it.
+				// (or follower copies) without waiting for client traffic
+				// to trip over it.
 				g.wg.Add(1)
 				go func(name string) {
 					defer g.wg.Done()
@@ -240,14 +371,21 @@ func (g *Gateway) probeLoop() {
 			}
 			replicasUp.Set(float64(g.health.UpCount()))
 		}
+		t.Reset(jitteredInterval(rng, g.cfg.ProbeInterval))
 	}
 }
 
 // probe performs one health check. A replica that answers but reports
 // "draining" is treated as failing: it must stop receiving new sessions,
-// and its open sessions fail over on their next request.
+// and its open sessions fail over on their next request. The request
+// rides probeCtx, so Shutdown cancels a probe blocked in dial instead
+// of leaving its goroutine behind.
 func (g *Gateway) probe(rep Replica) error {
-	resp, err := g.probeHC.Get(rep.BaseURL + "/" + api.Version + "/healthz")
+	req, err := http.NewRequestWithContext(g.probeCtx, "GET", rep.BaseURL+"/"+api.Version+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := g.probeHC.Do(req)
 	if err != nil {
 		return err
 	}
@@ -260,6 +398,70 @@ func (g *Gateway) probe(rep Replica) error {
 		return fmt.Errorf("healthz status %q", h.Status)
 	}
 	return nil
+}
+
+// rebalance drains sessions whose ring-home is the rejoined replica
+// back to it via the normal journal-replay migration — only ring-home
+// sessions move (everything else stays put), at most RebalanceLimit of
+// them per rejoin, paced by RebalancePace. Terminal sessions are left
+// where they are: moving one recomputes a verdict already served.
+func (g *Gateway) rebalance(name string) {
+	rebalanceEvents.Inc()
+	g.mu.Lock()
+	rts := make([]*route, 0, len(g.routes))
+	for _, rt := range g.routes {
+		rts = append(rts, rt)
+	}
+	g.mu.Unlock()
+	moved := 0
+	for _, rt := range rts {
+		if home, ok := g.ring.Home(rt.gwID); !ok || home != name {
+			continue
+		}
+		if moved >= g.cfg.RebalanceLimit {
+			rebalanceSkipped.Inc()
+			continue
+		}
+		if !g.health.Up(name) {
+			return // went down again mid-drain
+		}
+		rt.mu.Lock()
+		if rt.replica == name || rt.parked {
+			rt.mu.Unlock()
+			continue
+		}
+		var st api.SessionStatus
+		if err := g.client.Do("GET", g.base(rt.replica)+"/"+api.Version+"/sessions/"+rt.backendID+"/status", nil, &st); err == nil &&
+			(st.State == api.SessionDone || st.State == api.SessionFailed) {
+			rebalanceSkipped.Inc()
+			rt.mu.Unlock()
+			continue
+		}
+		err := func() error {
+			exp, err := g.exportJournal(rt)
+			if err != nil {
+				return err
+			}
+			return g.migrateLocked(rt, name, exp)
+		}()
+		if err != nil {
+			rebalanceSkipped.Inc()
+			g.logf("session %s rebalance to %s failed: %v", rt.gwID, name, err)
+		} else {
+			// The session is back on its hash-assigned home: the pin that
+			// recorded its exile is no longer needed.
+			g.ring.Unpin(rt.gwID)
+			rebalanceMoved.Inc()
+			moved++
+			g.logf("session %s rebalanced home to %s", rt.gwID, name)
+		}
+		rt.mu.Unlock()
+		select {
+		case <-g.probeStop:
+			return
+		case <-time.After(g.cfg.RebalancePace):
+		}
+	}
 }
 
 // --- placement and failover ---
@@ -301,19 +503,51 @@ func (g *Gateway) pickSuccessor(gwID, exclude string) (string, bool) {
 	return "", false
 }
 
-// exportJournal fetches the session's durable journal for migration:
-// from the replica itself while it can still answer (the drain case),
-// else straight from its journal directory (the SIGKILL case).
+// exportJournal fetches the session's durable journal for migration,
+// in degrading order of freshness: from the replica itself while it can
+// still answer (the drain case); straight from its journal directory
+// when the process is gone (the SIGKILL case); and from the freshest
+// follower copy when the disk is gone too (the journal-dir-wipe case).
+// A journal dir that answers "empty journal" means the session never
+// got durable state — creation crashed before the first meta landed —
+// so the original request replays as a clean zero-chunk session.
 func (g *Gateway) exportJournal(rt *route) (api.SessionJournal, error) {
-	var exp api.SessionJournal
-	liveErr := g.client.Do("GET", g.base(rt.replica)+"/"+api.Version+"/sessions/"+rt.backendID+"/journal", nil, &exp)
+	exp, liveErr := g.liveExport(rt)
 	if liveErr == nil {
 		return exp, nil
 	}
-	dir := g.replicas[rt.replica].JournalDir
-	if dir == "" {
-		return exp, fmt.Errorf("fleet: journal export from %s failed and no journal dir configured: %w", rt.replica, liveErr)
+	if dir := g.replicas[rt.replica].JournalDir; dir != "" {
+		exp, dirErr := g.dirExport(rt, dir)
+		if dirErr == nil {
+			return exp, nil
+		}
+		if errors.Is(dirErr, journal.ErrEmptyJournal) {
+			g.logf("session %s: empty journal on %s, replaying as new", rt.gwID, rt.replica)
+			return api.SessionJournal{
+				SchemaVersion: api.Version,
+				ID:            rt.backendID,
+				Request:       rt.req,
+				State:         api.SessionOpen,
+			}, nil
+		}
+		g.logf("session %s: journal dir read failed (%v), trying follower copies", rt.gwID, dirErr)
 	}
+	exp, folErr := g.followerExport(rt)
+	if folErr == nil {
+		failoverFromFollower.Inc()
+		g.logf("session %s: journal served from follower copy (%d chunk(s))", rt.gwID, len(exp.Chunks))
+		return exp, nil
+	}
+	return exp, fmt.Errorf("fleet: no journal source for %s: live: %v; followers: %v", rt.gwID, liveErr, folErr)
+}
+
+// dirExport reads the session's journal straight off the replica's
+// journal directory. Empty journals surface as journal.ErrEmptyJournal
+// (note: a wiped-and-recreated dir reads as plain not-found instead —
+// no meta AND no chunk log — which correctly falls through to the
+// follower copies).
+func (g *Gateway) dirExport(rt *route, dir string) (api.SessionJournal, error) {
+	var exp api.SessionJournal
 	st, err := journal.Open(dir)
 	if err != nil {
 		return exp, fmt.Errorf("fleet: journal dir for %s: %w", rt.replica, err)
@@ -336,10 +570,9 @@ func (g *Gateway) exportJournal(rt *route) (api.SessionJournal, error) {
 	}, nil
 }
 
-// failoverLocked migrates rt's session to a successor replica: export
-// the journal, open a fresh session with the original request, replay
-// every acknowledged chunk through the successor's normal publish path,
-// and re-pin the session's hash slot. Caller holds rt.mu.
+// failoverLocked migrates rt's session to a successor replica: mark the
+// current one down, export the journal (live → disk → follower copy),
+// and replay onto the first healthy successor. Caller holds rt.mu.
 func (g *Gateway) failoverLocked(rt *route) error {
 	failoverAttempts.Inc()
 	from := rt.replica
@@ -361,25 +594,40 @@ func (g *Gateway) failoverLocked(rt *route) error {
 		failoverFailed.Inc()
 		return fmt.Errorf("fleet: no healthy successor for session %s", rt.gwID)
 	}
+	if err := g.migrateLocked(rt, target, exp); err != nil {
+		failoverFailed.Inc()
+		return err
+	}
+	failoverSuccess.Inc()
+	g.logf("session %s failed over %s -> %s (%d chunk(s) replayed, last_seq %d)",
+		rt.gwID, from, target, len(exp.Chunks), exp.LastSeq)
+	return nil
+}
+
+// migrateLocked re-homes rt's session onto target from an exported
+// journal: open a fresh backend session with the original request,
+// replay every acknowledged chunk through target's normal publish path
+// (the engine is deterministic, so the verdict is byte-identical),
+// re-pin the hash slot, re-seed the follower set, and checkpoint the
+// new placement. Failover and rejoin rebalancing share it. Caller
+// holds rt.mu.
+func (g *Gateway) migrateLocked(rt *route, target string, exp api.SessionJournal) error {
+	from := rt.replica
 	body, err := json.Marshal(exp.Request)
 	if err != nil {
-		failoverFailed.Inc()
 		return err
 	}
 	var created api.SessionResponse
 	if err := g.client.Do("POST", g.base(target)+"/"+api.Version+"/sessions", body, &created); err != nil {
-		failoverFailed.Inc()
 		return fmt.Errorf("fleet: successor %s rejected session: %w", target, err)
 	}
 	for _, c := range exp.Chunks {
 		raw, err := json.Marshal(c)
 		if err != nil {
-			failoverFailed.Inc()
 			return err
 		}
 		var fr api.FramesResponse
 		if err := g.client.Do("POST", g.base(target)+"/"+api.Version+"/sessions/"+created.ID+"/frames", raw, &fr); err != nil {
-			failoverFailed.Inc()
 			return fmt.Errorf("fleet: replay chunk %d onto %s: %w", c.Seq, target, err)
 		}
 		failoverChunks.Inc()
@@ -392,10 +640,47 @@ func (g *Gateway) failoverLocked(rt *route) error {
 	// finishes the stream, or the successor's janitor re-times it out.
 	g.ring.Pin(rt.gwID, target)
 	rt.replica, rt.backendID = target, created.ID
-	failoverSuccess.Inc()
-	g.logf("session %s failed over %s -> %s (%d chunk(s) replayed, last_seq %d)",
-		rt.gwID, from, target, len(exp.Chunks), exp.LastSeq)
+	if rt.req.Flight == "" && rt.req.SampleRateHz == 0 {
+		rt.req = exp.Request
+	}
+	// The old follower set may now include the new owner (or the dead
+	// replica): recompute it and bring every copy to the export's
+	// high-water mark. The export is the authoritative chunk list here —
+	// fresher than whatever the copies held, never staler than from.
+	rt.followers = g.pickFollowersKeeping(rt, target, from)
+	rt.repAcked = make(map[string]int, len(rt.followers))
+	g.seedFollowersLocked(rt, exp)
+	g.recordPlacement(rt)
 	return nil
+}
+
+// pickFollowersKeeping recomputes rt's follower set for a new owner:
+// ring successors first, but keeping existing followers that still
+// qualify (their copies are already warm) and never the owner or the
+// replica the session just left involuntarily.
+func (g *Gateway) pickFollowersKeeping(rt *route, owner, exclude string) []string {
+	n := g.cfg.Replication - 1
+	if n <= 0 {
+		return nil
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, f := range rt.followers {
+		if len(out) < n && f != owner && f != exclude && !seen[f] && g.health.Up(f) {
+			out = append(out, f)
+			seen[f] = true
+		}
+	}
+	for _, f := range g.ring.Successors(rt.gwID, len(g.replicas)) {
+		if len(out) >= n {
+			break
+		}
+		if f != owner && f != exclude && !seen[f] && g.health.Up(f) {
+			out = append(out, f)
+			seen[f] = true
+		}
+	}
+	return out
 }
 
 // evacuate migrates every session currently routed to a downed replica.
@@ -556,10 +841,17 @@ func (g *Gateway) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		var created api.SessionResponse
 		err := g.client.Do("POST", g.base(name)+"/"+api.Version+"/sessions", body, &created)
 		if err == nil {
-			rt := &route{gwID: gwID, replica: name, backendID: created.ID}
+			rt := &route{
+				gwID: gwID, replica: name, backendID: created.ID,
+				req:       req,
+				followers: g.pickFollowers(gwID, name),
+				repAcked:  make(map[string]int),
+			}
 			g.mu.Lock()
 			g.routes[gwID] = rt
+			g.notePlacementLocked(rt)
 			g.mu.Unlock()
+			g.checkpoint()
 			if name != owner {
 				// Hash said owner, health said otherwise: pin so every
 				// later lookup agrees with where the session actually is.
@@ -611,6 +903,9 @@ func (g *Gateway) handleFrames(w http.ResponseWriter, r *http.Request) {
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	if !g.ensureLiveLocked(rt, w) {
+		return
+	}
 	var out api.FramesResponse
 	if err := g.forwardLocked(rt, "POST", "/frames", buf.Bytes(), &out); err != nil {
 		g.writeUpstreamError(w, err)
@@ -619,7 +914,28 @@ func (g *Gateway) handleFrames(w http.ResponseWriter, r *http.Request) {
 	if req.Seq > rt.lastSeq {
 		rt.lastSeq = req.Seq
 	}
+	// Stream the accepted chunk to the session's followers before the
+	// client's ack: once the 200 lands, the chunk survives losing the
+	// owner and its disk (best-effort per follower — see replication.go).
+	g.replicateLocked(rt, req, out.Duplicate)
 	g.writeJSON(w, http.StatusOK, out)
+}
+
+// ensureLiveLocked clears a parked route before serving it: each
+// request retries the revive, and failure answers 503 + Retry-After —
+// degraded, not lost. Caller holds rt.mu; a false return means the
+// response has been written.
+func (g *Gateway) ensureLiveLocked(rt *route, w http.ResponseWriter) bool {
+	if !rt.parked {
+		return true
+	}
+	if err := g.reviveLocked(rt); err != nil {
+		w.Header().Set("Retry-After", "1")
+		g.writeError(w, http.StatusServiceUnavailable, api.CodeUpstream,
+			fmt.Sprintf("gateway: session %s parked (no replica can serve it yet): %v", rt.gwID, err))
+		return false
+	}
+	return true
 }
 
 // handleReport forwards a report read, failing the session over first if
@@ -633,6 +949,9 @@ func (g *Gateway) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	if !g.ensureLiveLocked(rt, w) {
+		return
+	}
 	var out json.RawMessage
 	if err := g.forwardLocked(rt, "GET", "/report", nil, &out); err != nil {
 		g.writeUpstreamError(w, err)
@@ -651,6 +970,9 @@ func (g *Gateway) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	if !g.ensureLiveLocked(rt, w) {
+		return
+	}
 	var st api.SessionStatus
 	if err := g.forwardLocked(rt, "GET", "/status", nil, &st); err != nil {
 		g.writeUpstreamError(w, err)
@@ -669,6 +991,9 @@ func (g *Gateway) handleJournal(w http.ResponseWriter, r *http.Request) {
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	if !g.ensureLiveLocked(rt, w) {
+		return
+	}
 	var exp api.SessionJournal
 	if err := g.forwardLocked(rt, "GET", "/journal", nil, &exp); err != nil {
 		g.writeUpstreamError(w, err)
@@ -702,7 +1027,11 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		if !g.health.Up(name) {
 			continue
 		}
-		resp, err := g.probeHC.Get(rep.BaseURL + "/" + api.Version + "/healthz")
+		req, err := http.NewRequestWithContext(r.Context(), "GET", rep.BaseURL+"/"+api.Version+"/healthz", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := g.probeHC.Do(req)
 		if err != nil {
 			continue
 		}
@@ -733,15 +1062,22 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 	}
 	g.mu.Unlock()
 	if !already {
+		g.probeCancel() // unblock any probe stuck in dial
 		close(g.probeStop)
 		<-g.probeDone
-		g.wg.Wait() // let in-flight evacuations settle
+		g.wg.Wait() // let in-flight evacuations, rebalances, lease renewals settle
+		g.checkpoint()
 		g.logf("drain: %d tracked session(s)", len(open))
 	}
 	for {
 		pending := 0
 		for _, rt := range open {
 			rt.mu.Lock()
+			if rt.parked {
+				// No replica can serve it; nothing a drain can wait on.
+				rt.mu.Unlock()
+				continue
+			}
 			var st api.SessionStatus
 			err := g.client.Do("GET", g.base(rt.replica)+"/"+api.Version+"/sessions/"+rt.backendID+"/status", nil, &st)
 			rt.mu.Unlock()

@@ -22,4 +22,33 @@ var (
 	// health.transitions counts mark-down + mark-up events (hysteresis
 	// already applied).
 	healthTransitions = obs.Default.Counter("fleet.health.transitions")
+
+	// failover.from_follower counts migrations whose journal came from a
+	// follower copy — the owner and its disk were both gone.
+	failoverFromFollower = obs.Default.Counter("fleet.failover.from_follower")
+	// replication.* track the gateway-driven journal replication stream:
+	// appends are chunk copies acked by followers, errors are appends a
+	// follower failed (the session keeps serving; lag shows the debt),
+	// lag.<gwID> gauges each session's owner-to-slowest-follower chunk
+	// gap, and behind gauges how many sessions currently have lag > 0.
+	replicationAppends = obs.Default.Counter("fleet.replication.appends")
+	replicationErrors  = obs.Default.Counter("fleet.replication.errors")
+	replicationBehind  = obs.Default.Gauge("fleet.replication.behind")
+	replicationLag     = func(gwID string) *obs.Gauge {
+		return obs.Default.Gauge("fleet.replication.lag." + gwID)
+	}
+	// rebalance.* track rejoin draining: events are up-transitions that
+	// started a rebalance pass, moved / skipped split its per-session
+	// outcomes (skips: terminal sessions, export or migrate failures,
+	// the per-event cap).
+	rebalanceEvents  = obs.Default.Counter("fleet.rebalance.events")
+	rebalanceMoved   = obs.Default.Counter("fleet.rebalance.moved")
+	rebalanceSkipped = obs.Default.Counter("fleet.rebalance.skipped")
+	// standby.takeovers counts warm-standby promotions; sessions.parked
+	// gauges restored sessions awaiting a live replica (served as 503 +
+	// Retry-After until revived).
+	standbyTakeovers = obs.Default.Counter("fleet.standby.takeovers")
+	sessionsParked   = obs.Default.Gauge("fleet.sessions.parked")
+	// state.checkpoints counts routing-state file writes.
+	stateCheckpoints = obs.Default.Counter("fleet.state.checkpoints")
 )

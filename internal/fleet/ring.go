@@ -134,6 +134,19 @@ func (r *Ring) search(key string) int {
 	return i
 }
 
+// Home returns key's hash-assigned owner among current members,
+// ignoring pins — the replica the key would live on had it never been
+// moved. Rejoin rebalancing uses it to decide which migrated sessions
+// a recovered replica should get back. ok is false on an empty ring.
+func (r *Ring) Home(key string) (node string, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", false
+	}
+	return r.points[r.search(key)].node, true
+}
+
 // Successors returns up to n distinct members in ring order starting at
 // key's owner — the failover preference list. A pin does not reorder it:
 // successors are for choosing where to move next, not where the key is.

@@ -1,0 +1,81 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Standby is a warm spare for a gateway: it watches the primary's lease
+// file and, once the lease goes stale, rebuilds a Gateway from the
+// routing-state checkpoint and starts serving. The standby holds no
+// live state of its own while waiting — everything it needs at takeover
+// is in the checkpoint plus the replicas themselves.
+//
+// Lease expiry is measured on the standby's own clock (time since the
+// lease file's content last changed), so primary and standby clocks
+// need not agree. The TTL must comfortably exceed the primary's renew
+// interval; a TTL chosen too close to it risks a false takeover with
+// the primary still alive — a split brain this single-lease scheme does
+// not arbitrate (see DESIGN.md "Replication & availability contract").
+type Standby struct {
+	cfg Config
+}
+
+// NewStandby validates a standby over the same Config the primary runs
+// with. StatePath is required — it names both the checkpoint to restore
+// from and the lease to watch.
+func NewStandby(cfg Config) (*Standby, error) {
+	cfg = cfg.withDefaults()
+	if cfg.StatePath == "" {
+		return nil, fmt.Errorf("fleet: standby requires a state path")
+	}
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("fleet: no replicas configured")
+	}
+	return &Standby{cfg: cfg}, nil
+}
+
+// WaitLease blocks until the primary's lease expires (returns nil) or
+// ctx is done (returns its error). A lease file that never appears
+// counts as stale too: a standby started with no primary ever alive
+// takes over after one TTL.
+func (s *Standby) WaitLease(ctx context.Context) error {
+	poll := s.cfg.LeaseInterval
+	if poll > s.cfg.LeaseTTL/4 {
+		poll = s.cfg.LeaseTTL / 4
+	}
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	last, _ := os.ReadFile(leasePath(s.cfg.StatePath))
+	lastChange := time.Now()
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+		cur, _ := os.ReadFile(leasePath(s.cfg.StatePath))
+		if string(cur) != string(last) {
+			last, lastChange = cur, time.Now()
+			continue
+		}
+		if time.Since(lastChange) > s.cfg.LeaseTTL {
+			s.cfg.Logf("lease stale for %s: taking over", time.Since(lastChange).Round(time.Millisecond))
+			return nil
+		}
+	}
+}
+
+// Takeover promotes the standby: it builds a Gateway from the same
+// Config, which restores placements from the checkpoint, verifies each
+// against its replica (failing over or parking the unverifiable), and
+// starts renewing the lease as the new primary.
+func (s *Standby) Takeover() (*Gateway, error) {
+	standbyTakeovers.Inc()
+	return New(s.cfg)
+}

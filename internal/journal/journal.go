@@ -28,14 +28,37 @@ package journal
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
 	"soundboost/api"
 )
+
+// ErrEmptyJournal marks a session journal that exists on disk but holds
+// no usable state: a zero-byte (or whitespace-only) meta snapshot, or a
+// chunk log with no meta beside it. Both are the debris of a crash
+// landing inside session creation — before the first atomic meta write
+// completed — so nothing was ever acknowledged and nothing is lost.
+// Callers must treat the session as a clean new one (recovery skips it,
+// a gateway failover replays zero chunks), NOT as corrupt: corruption
+// means acknowledged state is unreadable, which this is not.
+var ErrEmptyJournal = errors.New("empty session journal")
+
+// EmptyJournalError carries the session id of an empty journal so
+// recovery can clean up its leftover files. It matches ErrEmptyJournal
+// under errors.Is.
+type EmptyJournalError struct{ ID string }
+
+func (e *EmptyJournalError) Error() string {
+	return fmt.Sprintf("journal %s: %s", e.ID, ErrEmptyJournal)
+}
+
+func (e *EmptyJournalError) Unwrap() error { return ErrEmptyJournal }
 
 // Meta is the durable per-session snapshot.
 type Meta struct {
@@ -100,14 +123,18 @@ func (s *Store) Session(id string) (*Session, error) {
 // is unreadable is skipped (reported in errs) rather than blocking the
 // rest of the recovery; chunk-log damage is reported per session via
 // Recovered.Corrupt (see the package comment for the torn-tail
-// exception).
+// exception). Empty journals — a blank meta, or an orphan chunk log
+// whose meta never landed — are reported as EmptyJournalError so the
+// caller can clean them up as never-started sessions.
 func (s *Store) Load() (sessions []Recovered, errs []error) {
 	metas, err := filepath.Glob(filepath.Join(s.dir, "*.meta.json"))
 	if err != nil {
 		return nil, []error{err}
 	}
 	sort.Strings(metas)
+	seen := make(map[string]bool, len(metas))
 	for _, path := range metas {
+		seen[strings.TrimSuffix(filepath.Base(path), ".meta.json")] = true
 		rec, err := s.loadMeta(path)
 		if err != nil {
 			errs = append(errs, err)
@@ -115,20 +142,52 @@ func (s *Store) Load() (sessions []Recovered, errs []error) {
 		}
 		sessions = append(sessions, rec)
 	}
+	// Orphan chunk logs: a crash between Session() creating the chunk
+	// file and the first WriteMeta leaves a log with no meta. Nothing in
+	// it was ever acknowledged (meta lands before the first chunk ack),
+	// so surface each as an empty journal, not silently skip the file.
+	chunkLogs, err := filepath.Glob(filepath.Join(s.dir, "*.chunks.jsonl"))
+	if err != nil {
+		return sessions, append(errs, err)
+	}
+	sort.Strings(chunkLogs)
+	for _, path := range chunkLogs {
+		id := strings.TrimSuffix(filepath.Base(path), ".chunks.jsonl")
+		if !seen[id] {
+			errs = append(errs, &EmptyJournalError{ID: id})
+		}
+	}
 	return sessions, errs
 }
 
 // LoadSession reads one journaled session by id — the fleet gateway's
 // failover path, which transfers a single session rather than a whole
-// replica's table.
+// replica's table. A journal that exists but holds no usable state (see
+// ErrEmptyJournal) is reported as such, distinct from both a missing
+// session and a corrupt one.
 func (s *Store) LoadSession(id string) (Recovered, error) {
-	return s.loadMeta(s.MetaPath(id))
+	rec, err := s.loadMeta(s.MetaPath(id))
+	if err != nil && errors.Is(err, os.ErrNotExist) {
+		// No meta: an orphan chunk log beside it means session creation
+		// was interrupted before the first meta write — an empty journal,
+		// not a missing session.
+		if _, serr := os.Stat(s.ChunksPath(id)); serr == nil {
+			return Recovered{}, &EmptyJournalError{ID: id}
+		}
+	}
+	return rec, err
 }
 
 func (s *Store) loadMeta(path string) (Recovered, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return Recovered{}, fmt.Errorf("journal %s: %w", filepath.Base(path), err)
+	}
+	if len(bytes.TrimSpace(raw)) == 0 {
+		// A blank snapshot: the crash landed before the first atomic meta
+		// write (or the file was truncated by something outside the
+		// atomic-rename protocol). Nothing acknowledged lives here.
+		return Recovered{}, &EmptyJournalError{ID: strings.TrimSuffix(filepath.Base(path), ".meta.json")}
 	}
 	var meta Meta
 	if err := json.Unmarshal(raw, &meta); err != nil {
@@ -140,6 +199,14 @@ func (s *Store) loadMeta(path string) (Recovered, error) {
 	rec := Recovered{Meta: meta}
 	rec.Chunks, rec.Corrupt = readChunkLog(s.ChunksPath(meta.ID))
 	return rec, nil
+}
+
+// RemoveSession deletes a session's journal files by id — recovery's
+// cleanup path for empty journals, which have no Session handle to call
+// Remove on.
+func (s *Store) RemoveSession(id string) {
+	_ = os.Remove(s.MetaPath(id))
+	_ = os.Remove(s.ChunksPath(id))
 }
 
 // readChunkLog parses a chunk log, distinguishing the tolerated torn

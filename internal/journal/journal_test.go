@@ -1,6 +1,7 @@
 package journal
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -183,6 +184,168 @@ func TestAppendAfterClose(t *testing.T) {
 	sj.CloseChunks()
 	if err := sj.AppendChunk(chunk(2, false)); err == nil {
 		t.Fatal("append after close succeeded")
+	}
+}
+
+// TestPresenceMatrix pins how every combination of meta and chunk-log
+// presence loads. The load-bearing rows are the partially-created ones:
+// an empty meta or an orphan chunk log is the debris of a crash inside
+// session creation and must read as ErrEmptyJournal (a clean new
+// session), never as corruption — and a valid meta with no chunk log at
+// all is simply a session that never saw frames.
+func TestPresenceMatrix(t *testing.T) {
+	const id = "s-00000001"
+	validMeta := func(st *Store) {
+		sj, err := st.Session(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sj.WriteMeta(Meta{ID: id, State: api.SessionOpen, Req: api.SessionRequest{Flight: id, SampleRateHz: 4000}}); err != nil {
+			t.Fatal(err)
+		}
+		sj.CloseChunks()
+		// Session() creates the chunk log; rows that want it absent or
+		// reshaped overwrite below.
+	}
+	cases := []struct {
+		name      string
+		setup     func(st *Store)
+		wantEmpty bool
+		wantErr   bool // a non-empty load error
+		wantRecs  int  // sessions recovered by Load
+		wantChunk int  // chunks on the recovered session
+	}{
+		{
+			name:  "meta valid, chunk log absent",
+			setup: func(st *Store) { validMeta(st); os.Remove(st.ChunksPath(id)) },
+			// A session that never saw frames: loads clean with zero chunks.
+			wantRecs: 1,
+		},
+		{
+			name:     "meta valid, chunk log empty",
+			setup:    func(st *Store) { validMeta(st) },
+			wantRecs: 1,
+		},
+		{
+			name: "meta valid, chunk log populated",
+			setup: func(st *Store) {
+				sj := writeSession(t, st, id, 2)
+				sj.CloseChunks()
+			},
+			wantRecs:  1,
+			wantChunk: 2,
+		},
+		{
+			name: "meta empty, chunk log absent",
+			setup: func(st *Store) {
+				if err := os.WriteFile(st.MetaPath(id), nil, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantEmpty: true,
+		},
+		{
+			name: "meta empty, chunk log present",
+			setup: func(st *Store) {
+				if err := os.WriteFile(st.MetaPath(id), []byte(" \n"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(st.ChunksPath(id), nil, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantEmpty: true,
+		},
+		{
+			name: "meta absent, chunk log present",
+			setup: func(st *Store) {
+				if err := os.WriteFile(st.ChunksPath(id), nil, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantEmpty: true,
+		},
+		{
+			name:  "meta absent, chunk log absent",
+			setup: func(st *Store) {},
+			// Not a session at all: LoadSession reports not-found, Load
+			// reports nothing.
+			wantErr: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.setup(st)
+
+			rec, err := st.LoadSession(id)
+			switch {
+			case tc.wantEmpty:
+				if !errors.Is(err, ErrEmptyJournal) {
+					t.Fatalf("LoadSession err = %v, want ErrEmptyJournal", err)
+				}
+				var emptyErr *EmptyJournalError
+				if !errors.As(err, &emptyErr) || emptyErr.ID != id {
+					t.Fatalf("LoadSession err = %v, want EmptyJournalError carrying %q", err, id)
+				}
+			case tc.wantErr:
+				if err == nil {
+					t.Fatalf("LoadSession succeeded: %+v", rec)
+				}
+				if errors.Is(err, ErrEmptyJournal) {
+					t.Fatalf("missing session misreported as empty journal: %v", err)
+				}
+			default:
+				if err != nil {
+					t.Fatalf("LoadSession: %v", err)
+				}
+				if rec.Corrupt != "" {
+					t.Fatalf("clean journal flagged corrupt: %q", rec.Corrupt)
+				}
+				if len(rec.Chunks) != tc.wantChunk {
+					t.Fatalf("chunks = %d, want %d", len(rec.Chunks), tc.wantChunk)
+				}
+			}
+
+			recs, errs := st.Load()
+			if len(recs) != tc.wantRecs {
+				t.Fatalf("Load recovered %d sessions, want %d (errs %v)", len(recs), tc.wantRecs, errs)
+			}
+			gotEmpty := false
+			for _, lerr := range errs {
+				if errors.Is(lerr, ErrEmptyJournal) {
+					gotEmpty = true
+				}
+			}
+			if gotEmpty != tc.wantEmpty {
+				t.Fatalf("Load empty-journal report = %v, want %v (errs %v)", gotEmpty, tc.wantEmpty, errs)
+			}
+		})
+	}
+}
+
+// TestRemoveSession cleans up an empty journal by id — no Session handle
+// needed.
+func TestRemoveSession(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(st.MetaPath("s-00000009"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(st.ChunksPath("s-00000009"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st.RemoveSession("s-00000009")
+	if _, err := os.Stat(st.MetaPath("s-00000009")); !os.IsNotExist(err) {
+		t.Fatalf("meta still present: %v", err)
+	}
+	if _, err := os.Stat(st.ChunksPath("s-00000009")); !os.IsNotExist(err) {
+		t.Fatalf("chunks still present: %v", err)
 	}
 }
 

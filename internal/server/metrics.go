@@ -38,7 +38,20 @@ var (
 	// journal.exports counts session journal exports served to fleet
 	// gateways for handoff.
 	journalExports = obs.Default.Counter("server.journal.exports")
-	jobsRejected   = obs.Default.Counter("server.jobs.rejected")
+	// sessions.empty_cleaned counts empty journals (crash mid-create)
+	// reclaimed at startup instead of recovered.
+	sessionsEmptyCleaned = obs.Default.Counter("server.sessions.empty_cleaned")
+	// journal.follower.* track the replica-side half of fleet journal
+	// replication: copies of other replicas' session journals held here
+	// as failover sources (see follower.go). appends are fsynced chunk
+	// receipts, exports are copies served back to a gateway whose owner
+	// died disk-and-all, expired are idle copies reclaimed by the
+	// janitor, and sessions gauges live copies.
+	followerAppends  = obs.Default.Counter("server.journal.follower.appends")
+	followerExports  = obs.Default.Counter("server.journal.follower.exports")
+	followerExpired  = obs.Default.Counter("server.journal.follower.expired")
+	followerSessions = obs.Default.Gauge("server.journal.follower.sessions")
+	jobsRejected     = obs.Default.Counter("server.jobs.rejected")
 	// jobs.timed_out counts batch analyses abandoned at their deadline;
 	// their limiter slots free when the work returns.
 	jobsTimedOut   = obs.Default.Counter("server.jobs.timed_out")
@@ -54,12 +67,13 @@ var (
 		return obs.Default.Counter("server.sessions.opened." + labelGroup(flight))
 	}
 
-	flightsTimer       = obs.Default.Timer("server.http.flights")
-	sessionsTimer      = obs.Default.Timer("server.http.sessions.create")
-	framesTimer        = obs.Default.Timer("server.http.sessions.frames")
-	reportTimer        = obs.Default.Timer("server.http.sessions.report")
-	statusTimer        = obs.Default.Timer("server.http.sessions.status")
-	journalExportTimer = obs.Default.Timer("server.http.sessions.journal")
+	flightsTimer        = obs.Default.Timer("server.http.flights")
+	sessionsTimer       = obs.Default.Timer("server.http.sessions.create")
+	framesTimer         = obs.Default.Timer("server.http.sessions.frames")
+	reportTimer         = obs.Default.Timer("server.http.sessions.report")
+	statusTimer         = obs.Default.Timer("server.http.sessions.status")
+	journalExportTimer  = obs.Default.Timer("server.http.sessions.journal")
+	followerAppendTimer = obs.Default.Timer("server.http.sessions.journal_append")
 )
 
 // labelGroup maps a session's flight label to a bounded metric group:

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -44,6 +45,17 @@ func sessionID(id string) (int, bool) {
 func (s *Server) recoverSessions() {
 	recs, errs := s.journal.Load()
 	for _, err := range errs {
+		// An empty journal is the debris of a crash inside session
+		// creation — nothing was acknowledged, so it is a clean new
+		// session, not a corrupt one: reclaim the files instead of
+		// carrying a ghost forward.
+		var empty *journal.EmptyJournalError
+		if errors.As(err, &empty) {
+			s.journal.RemoveSession(empty.ID)
+			sessionsEmptyCleaned.Inc()
+			s.logf("journal: session %s never started (empty journal), cleaned up", empty.ID)
+			continue
+		}
 		s.logf("journal: %v", err)
 	}
 	for _, rec := range recs {

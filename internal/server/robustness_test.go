@@ -191,6 +191,9 @@ func copyDir(t *testing.T, src string) string {
 		t.Fatal(err)
 	}
 	for _, e := range entries {
+		if e.IsDir() {
+			continue // the followers/ subdir is not part of a session's own journal
+		}
 		raw, err := os.ReadFile(filepath.Join(src, e.Name()))
 		if err != nil {
 			t.Fatal(err)

@@ -28,6 +28,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /"+api.Version+"/sessions/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /"+api.Version+"/sessions/{id}/status", s.handleStatus)
 	mux.HandleFunc("GET /"+api.Version+"/sessions/{id}/journal", s.handleJournalExport)
+	mux.HandleFunc("POST /"+api.Version+"/sessions/{id}/journal/append", s.handleJournalAppend)
 	mux.HandleFunc("GET /"+api.Version+"/healthz", s.handleHealthz)
 	return mux
 }
@@ -227,6 +228,13 @@ func (s *Server) handleJournalExport(w http.ResponseWriter, r *http.Request) {
 	defer span.Stop()
 	sess, err := s.lookup(r.PathValue("id"))
 	if err != nil {
+		// Not a session this server owns — but it may be a follower copy
+		// replicated here for a session served elsewhere, and a gateway
+		// whose owner (and owner's disk) died fetches it through this
+		// same route.
+		if s.exportFollower(w, r.PathValue("id")) {
+			return
+		}
 		s.writeError(w, err)
 		return
 	}

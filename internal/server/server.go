@@ -131,6 +131,12 @@ type Server struct {
 	now     func() time.Time
 	journal *journal.Store // nil unless Config.JournalDir is set
 
+	// Follower journal copies held for sessions served elsewhere in the
+	// fleet (see follower.go). Nil unless journaling is enabled.
+	followers      *journal.Store
+	followerMu     sync.Mutex
+	followerCopies map[string]*followerCopy
+
 	mu       sync.Mutex
 	sessions map[string]*session
 	nextID   int
@@ -163,6 +169,9 @@ func New(an *soundboost.Analyzer, cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 		s.journal = j
+		if err := s.openFollowerStore(); err != nil {
+			return nil, err
+		}
 		// Rebuild the session table from the journal before accepting
 		// traffic, so a client resuming against a restarted server never
 		// races its own recovery.
@@ -201,6 +210,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !already {
 		close(s.janitorStop)
 		<-s.janitorDone
+		s.closeFollowers()
 		s.logf("drain: closing %d session(s)", len(open))
 	}
 	for _, sess := range open {

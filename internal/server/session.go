@@ -467,5 +467,6 @@ func (s *Server) janitor() {
 				sess.persistMeta()
 			}
 		}
+		s.sweepFollowers(now)
 	}
 }
